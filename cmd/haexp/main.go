@@ -1,0 +1,84 @@
+// Command haexp runs the reproduction experiments for "Achieving High
+// Availability in Distributed Databases" (Garcia-Molina & Kogan, ICDE
+// 1987) and prints their tables.
+//
+// Usage:
+//
+//	haexp                  # run every experiment
+//	haexp -exp E3          # run one experiment
+//	haexp -exp E1,E5,E8    # run a subset
+//	haexp -seed 7          # change the deterministic seed
+//	haexp -list            # list experiments
+//
+// Exit status is nonzero if any experiment's measured shape does not
+// match the paper's claim.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fragdb/internal/exp"
+)
+
+// titles gives each experiment's headline without running it.
+var titles = map[string]string{
+	"E1":  "Figure 1.1 — the correctness/availability spectrum",
+	"E2":  "Section 1 scenario 1 — two $100 withdrawals during a partition",
+	"E3":  "Section 1 scenario 2 — two $200 withdrawals during a partition",
+	"E4":  "Section 2 — local-view discrepancy vs. partition duration",
+	"E5":  "Figure 4.2.1 — warehouse star: acyclic reads vs. read locks",
+	"E6":  "Figures 4.3.1-4.3.2 — non-serializable schedule, cyclic GSG",
+	"E7":  "Figure 4.3.3 — airline: fragmentwise but not globally serializable",
+	"E8":  "Section 4.4 — agent movement protocols",
+	"E9":  "Section 4.2 theorem + Properties 1-2 — randomized validation",
+	"E10": "Section 1 — reconciliation overhead vs. partition duration",
+	"A1":  "extension — availability vs. partition severity (4.1 vs 4.3)",
+}
+
+func main() {
+	var (
+		which = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		seed  = flag.Int64("seed", 42, "deterministic simulation seed")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	all := exp.All()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-4s %s\n", e.ID, titles[e.ID])
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *which != "" {
+		for _, id := range strings.Split(*which, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	failed, ran := 0, 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		ran++
+		r := e.Run(*seed)
+		fmt.Println(r.Table())
+		if !r.Pass {
+			failed++
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "haexp: no experiment matches %q (use -list)\n", *which)
+		os.Exit(2)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "haexp: %d experiment(s) did not match the paper\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,131 @@
+// Mixed: the combined system of the paper's Conclusions.
+//
+// "It is possible to combine several of our strategies in a single
+// system ... mutual consistency for some fragments, fragmentwise
+// serializability for a set of other fragments, and conventional
+// serializability within another group."
+//
+// One cluster runs four fragments under three different control
+// options, plus partial replication for one of them:
+//
+//	LEDGER   — ReadLocks (4.1): conventional serializability; its
+//	           transactions read PRICES at the owning agent's home.
+//	REPORTS  — AcyclicReads (4.2): declared to read PRICES and EVENTS;
+//	           lock-free and still serializable (the star is a tree).
+//	PRICES   — UnrestrictedReads (4.3): fragmentwise serializability.
+//	EVENTS   — commutative append-only log, replicated on only three
+//	           of the five nodes (partial replication).
+//
+// Run with:
+//
+//	go run ./examples/mixed
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fragdb"
+)
+
+func main() {
+	cl := fragdb.NewCluster(fragdb.Config{N: 5, Option: fragdb.UnrestrictedReads, Seed: 9})
+	cl.Catalog().AddFragment("LEDGER", "ledger/total")
+	cl.Catalog().AddFragment("REPORTS", "reports/summary")
+	cl.Catalog().AddFragment("PRICES", "prices/widget")
+	cl.Catalog().AddFragment("EVENTS")
+	cl.Tokens().Assign("LEDGER", fragdb.NodeAgent(0), 0)
+	cl.Tokens().Assign("REPORTS", fragdb.NodeAgent(1), 1)
+	cl.Tokens().Assign("PRICES", fragdb.NodeAgent(2), 2)
+	cl.Tokens().Assign("EVENTS", "user:logger", 3)
+
+	cl.SetFragmentOption("LEDGER", fragdb.ReadLocks)
+	cl.SetFragmentOption("REPORTS", fragdb.AcyclicReads)
+	cl.DeclareRead("REPORTS", "PRICES")
+	cl.DeclareRead("REPORTS", "EVENTS")
+	cl.SetCommutative("EVENTS")
+	cl.SetReplicas("EVENTS", 1, 3, 4)
+
+	if err := cl.Start(); err != nil {
+		log.Fatal(err)
+	}
+	cl.Load("ledger/total", int64(0))
+	cl.Load("reports/summary", int64(0))
+	cl.Load("prices/widget", int64(100))
+	defer cl.Shutdown()
+
+	// The price moves (4.3: available anywhere its agent is).
+	cl.Node(2).Submit(fragdb.TxnSpec{
+		Agent: fragdb.NodeAgent(2), Fragment: "PRICES",
+		Program: func(tx *fragdb.Tx) error { return tx.Write("prices/widget", int64(110)) },
+	}, nil)
+	// The logger appends events (commutative, partially replicated).
+	for i := 0; i < 3; i++ {
+		obj := fragdb.ObjectID(fmt.Sprintf("events/e%d", i))
+		cl.Node(3).Submit(fragdb.TxnSpec{
+			Agent: "user:logger", Fragment: "EVENTS",
+			Program: func(tx *fragdb.Tx) error { return tx.Write(obj, int64(1)) },
+		}, nil)
+	}
+	cl.Settle(time.Minute)
+
+	// The ledger posts an entry priced at the authoritative quote (4.1:
+	// remote read lock at PRICES' home).
+	cl.Node(0).Submit(fragdb.TxnSpec{
+		Agent: fragdb.NodeAgent(0), Fragment: "LEDGER",
+		Program: func(tx *fragdb.Tx) error {
+			p, err := tx.ReadInt("prices/widget")
+			if err != nil {
+				return err
+			}
+			t, err := tx.ReadInt("ledger/total")
+			if err != nil {
+				return err
+			}
+			return tx.Write("ledger/total", t+p)
+		},
+	}, func(r fragdb.TxnResult) {
+		fmt.Println("ledger entry (read-locked price):", r.Committed)
+	})
+	// The report scans prices and events lock-free (4.2).
+	cl.Node(1).Submit(fragdb.TxnSpec{
+		Agent: fragdb.NodeAgent(1), Fragment: "REPORTS",
+		Program: func(tx *fragdb.Tx) error {
+			p, err := tx.ReadInt("prices/widget")
+			if err != nil {
+				return err
+			}
+			count := int64(0)
+			for i := 0; i < 3; i++ {
+				v, err := tx.ReadInt(fragdb.ObjectID(fmt.Sprintf("events/e%d", i)))
+				if err != nil {
+					return err
+				}
+				count += v
+			}
+			return tx.Write("reports/summary", p*count)
+		},
+	}, func(r fragdb.TxnResult) {
+		fmt.Println("report (lock-free acyclic scan):", r.Committed)
+	})
+	if !cl.Settle(time.Minute) {
+		log.Fatal("did not settle")
+	}
+
+	total, _ := cl.Node(4).Store().Get("ledger/total")
+	summary, _ := cl.Node(4).Store().Get("reports/summary")
+	fmt.Println("ledger/total =", total, " reports/summary =", summary)
+
+	// Partial replication: node 0 never installed EVENTS.
+	if _, ok := cl.Node(0).Store().Get("events/e0"); !ok {
+		fmt.Println("node 0 holds no EVENTS replica (partial replication)")
+	}
+	if err := cl.CheckMutualConsistency(); err != nil {
+		log.Fatal(err)
+	}
+	if err := cl.Recorder().CheckFragmentwise(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verified: per-fragment replicas consistent; fragmentwise serializability holds")
+}

@@ -1,0 +1,103 @@
+// Quickstart: a three-node fragments-and-agents database.
+//
+// Each node's agent owns one fragment. A network partition cuts node 2
+// off; every agent keeps updating its own fragment anyway (that is the
+// availability the paper is after), and after the heal all replicas
+// converge and the history is verified fragmentwise serializable.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fragdb/internal/core"
+	"fragdb/internal/fragments"
+	"fragdb/internal/netsim"
+	"fragdb/internal/simtime"
+)
+
+func main() {
+	cl := core.NewCluster(core.Config{
+		N:      3,
+		Option: core.UnrestrictedReads, // the Section 4.3 strategy
+		Seed:   1,
+	})
+
+	// Schema: one fragment per node, one counter object each. The
+	// node itself is each fragment's agent.
+	for i := 0; i < 3; i++ {
+		f := fragments.FragmentID(fmt.Sprintf("F%d", i))
+		obj := fragments.ObjectID(fmt.Sprintf("counter%d", i))
+		if err := cl.Catalog().AddFragment(f, obj); err != nil {
+			log.Fatal(err)
+		}
+		cl.Tokens().Assign(f, fragments.NodeAgent(netsim.NodeID(i)), netsim.NodeID(i))
+	}
+	if err := cl.Start(); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		cl.Load(fragments.ObjectID(fmt.Sprintf("counter%d", i)), int64(0))
+	}
+	defer cl.Shutdown()
+
+	// Increment every counter at its home node, every 100ms.
+	increment := func(i int) {
+		f := fragments.FragmentID(fmt.Sprintf("F%d", i))
+		obj := fragments.ObjectID(fmt.Sprintf("counter%d", i))
+		cl.Node(netsim.NodeID(i)).Submit(core.TxnSpec{
+			Agent:    fragments.NodeAgent(netsim.NodeID(i)),
+			Fragment: f,
+			Program: func(tx *core.Tx) error {
+				v, err := tx.ReadInt(obj)
+				if err != nil {
+					return err
+				}
+				return tx.Write(obj, v+1)
+			},
+		}, nil)
+	}
+	for round := 0; round < 10; round++ {
+		at := time.Duration(round*100) * time.Millisecond
+		cl.Sched().After(at, func() {
+			for i := 0; i < 3; i++ {
+				increment(i)
+			}
+		})
+	}
+
+	// Partition node 2 away for the middle of the run.
+	cl.Net().ScheduleSplit(simtime.Time(300*time.Millisecond), []netsim.NodeID{0, 1}, []netsim.NodeID{2})
+	cl.Net().ScheduleHeal(simtime.Time(700 * time.Millisecond))
+
+	cl.RunFor(1200 * time.Millisecond)
+	fmt.Println("during/after the partition, every node kept updating its own fragment:")
+	fmt.Printf("  committed: %d of %d offered\n",
+		cl.Stats().Committed.Load(), cl.Stats().Offered.Load())
+
+	mid, _ := cl.Node(0).Store().Get("counter2")
+	fmt.Printf("  node 0's replica of counter2 before convergence: %v\n", mid)
+
+	if !cl.Settle(30 * time.Second) {
+		log.Fatal("cluster did not converge")
+	}
+	fmt.Println("after settling:")
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			v, _ := cl.Node(netsim.NodeID(i)).Store().Get(fragments.ObjectID(fmt.Sprintf("counter%d", j)))
+			fmt.Printf("  node %d sees counter%d = %v\n", i, j, v)
+		}
+	}
+	if err := cl.CheckMutualConsistency(); err != nil {
+		log.Fatalf("mutual consistency: %v", err)
+	}
+	if err := cl.Recorder().CheckFragmentwise(); err != nil {
+		log.Fatalf("fragmentwise serializability: %v", err)
+	}
+	fmt.Println("verified: mutual consistency and fragmentwise serializability hold")
+}

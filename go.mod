@@ -1,0 +1,3 @@
+module fragdb
+
+go 1.22

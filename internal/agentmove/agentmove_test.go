@@ -1,0 +1,253 @@
+package agentmove
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fragdb/internal/core"
+	"fragdb/internal/fragments"
+	"fragdb/internal/netsim"
+)
+
+// newCluster builds a 3-node cluster with fragment F ({x, y}) owned by
+// agent "user:m" homed at node 0.
+func newCluster(t *testing.T, majority bool) *core.Cluster {
+	t.Helper()
+	cl := core.NewCluster(core.Config{
+		N: 3, Option: core.UnrestrictedReads, Seed: 17, MajorityCommit: majority,
+	})
+	if err := cl.Catalog().AddFragment("F", "x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	cl.Tokens().Assign("F", "user:m", 0)
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cl.Load("x", int64(0))
+	cl.Load("y", int64(0))
+	return cl
+}
+
+func submitInc(cl *core.Cluster, node netsim.NodeID, obj fragments.ObjectID) *core.TxnResult {
+	var res core.TxnResult
+	cl.Node(node).Submit(core.TxnSpec{
+		Agent: "user:m", Fragment: "F",
+		Program: func(tx *core.Tx) error {
+			v, err := tx.ReadInt(obj)
+			if err != nil {
+				return err
+			}
+			return tx.Write(obj, v+1)
+		},
+	}, func(r core.TxnResult) { res = r })
+	return &res
+}
+
+func TestMoveWithDataProtocol(t *testing.T) {
+	cl := newCluster(t, false)
+	defer cl.Shutdown()
+	submitInc(cl, 0, "x")
+	cl.RunFor(50 * time.Millisecond)
+
+	var res Result
+	MoveWithData(cl, "user:m", 2, 100*time.Millisecond, func(r Result) { res = r })
+	// Mid-transport: updates at the old home are refused.
+	cl.RunFor(50 * time.Millisecond)
+	mid := submitInc(cl, 0, "x")
+	cl.RunFor(20 * time.Millisecond)
+	if mid.Committed || !errors.Is(mid.Err, core.ErrAgentMoving) {
+		t.Errorf("mid-move txn = %+v, want ErrAgentMoving", mid)
+	}
+	cl.RunFor(100 * time.Millisecond)
+	if !res.Completed || res.From != 0 || res.To != 2 {
+		t.Fatalf("move result = %+v", res)
+	}
+	// Agent now updates at node 2.
+	after := submitInc(cl, 2, "x")
+	if !cl.Settle(20 * time.Second) {
+		t.Fatal("did not settle")
+	}
+	if !after.Committed {
+		t.Fatalf("post-move txn = %+v", after)
+	}
+	if err := cl.CheckMutualConsistency(); err != nil {
+		t.Error(err)
+	}
+	if err := cl.Recorder().CheckFragmentwise(); err != nil {
+		t.Errorf("fragmentwise: %v", err)
+	}
+	if v, _ := cl.Node(1).Store().Get("x"); v != int64(2) {
+		t.Errorf("x = %v, want 2", v)
+	}
+}
+
+func TestMoveWithSeqWaitsForStream(t *testing.T) {
+	cl := newCluster(t, false)
+	defer cl.Shutdown()
+	// Update while node 2 is partitioned away, then move there carrying
+	// the sequence number: the move must not complete until the heal.
+	cl.Net().Partition([]netsim.NodeID{0, 1}, []netsim.NodeID{2})
+	submitInc(cl, 0, "x")
+	cl.RunFor(100 * time.Millisecond)
+
+	var res Result
+	gotResult := false
+	MoveWithSeq(cl, "user:m", 2, 10*time.Second, func(r Result) { res = r; gotResult = true })
+	cl.RunFor(500 * time.Millisecond)
+	if gotResult {
+		t.Fatalf("move completed across a partition: %+v", res)
+	}
+	cl.Net().Heal()
+	cl.Settle(20 * time.Second)
+	if !gotResult || !res.Completed {
+		t.Fatalf("move did not complete after heal: %+v", res)
+	}
+	after := submitInc(cl, 2, "x")
+	cl.Settle(20 * time.Second)
+	if !after.Committed {
+		t.Fatalf("post-move txn = %+v", after)
+	}
+	if err := cl.Recorder().CheckFragmentwise(); err != nil {
+		t.Errorf("fragmentwise: %v", err)
+	}
+	if err := cl.CheckMutualConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoveWithSeqTimesOutAndAgentStays(t *testing.T) {
+	cl := newCluster(t, false)
+	defer cl.Shutdown()
+	cl.Net().Partition([]netsim.NodeID{0, 1}, []netsim.NodeID{2})
+	submitInc(cl, 0, "x")
+	cl.RunFor(100 * time.Millisecond)
+	var res Result
+	MoveWithSeq(cl, "user:m", 2, 300*time.Millisecond, func(r Result) { res = r })
+	cl.RunFor(time.Second)
+	if res.Completed || !errors.Is(res.Err, ErrMoveTimeout) {
+		t.Fatalf("res = %+v, want timeout", res)
+	}
+	// Agent resumes at the OLD home.
+	back := submitInc(cl, 0, "x")
+	cl.RunFor(time.Second)
+	if !back.Committed {
+		t.Fatalf("old-home txn after failed move = %+v", back)
+	}
+	if h, _ := cl.Tokens().Home("user:m"); h != 0 {
+		t.Errorf("agent home = %v, want 0", h)
+	}
+}
+
+func TestMoveNoPrepImmediateAvailability(t *testing.T) {
+	cl := newCluster(t, false)
+	defer cl.Shutdown()
+	var recovered int
+	cl.OnRecovered(func(core.RecoveredUpdate) { recovered++ })
+
+	cl.Net().Partition([]netsim.NodeID{0}, []netsim.NodeID{1, 2})
+	// Missing transaction at the isolated old home.
+	submitInc(cl, 0, "y")
+	cl.RunFor(100 * time.Millisecond)
+
+	var res Result
+	MoveNoPrep(cl, "user:m", 1, func(r Result) { res = r })
+	if !res.Completed {
+		t.Fatalf("no-prep move should complete instantly: %+v", res)
+	}
+	// The agent processes at the new home immediately, still partitioned.
+	now := submitInc(cl, 1, "x")
+	cl.RunFor(200 * time.Millisecond)
+	if !now.Committed {
+		t.Fatalf("immediate txn = %+v", now)
+	}
+	cl.Net().Heal()
+	if !cl.Settle(30 * time.Second) {
+		t.Fatal("did not settle")
+	}
+	if recovered != 1 {
+		t.Errorf("recovered = %d, want 1", recovered)
+	}
+	if err := cl.CheckMutualConsistency(); err != nil {
+		t.Errorf("mutual consistency: %v", err)
+	}
+	if v, _ := cl.Node(2).Store().Get("y"); v != int64(1) {
+		t.Errorf("y = %v, want recovered 1", v)
+	}
+}
+
+func TestMoveMajorityReconstructsStream(t *testing.T) {
+	cl := newCluster(t, true)
+	defer cl.Shutdown()
+	// Commit two updates (majority mode): known to >= 2 nodes each.
+	submitInc(cl, 0, "x")
+	cl.RunFor(200 * time.Millisecond)
+	submitInc(cl, 0, "x")
+	cl.RunFor(200 * time.Millisecond)
+	// Old home vanishes (crash): the new home reconstructs from the
+	// surviving majority {1, 2}.
+	cl.Net().SetNodeDown(0, true)
+	var res Result
+	MoveMajority(cl, "user:m", 1, 10*time.Second, func(r Result) { res = r })
+	cl.RunFor(5 * time.Second)
+	if !res.Completed {
+		t.Fatalf("majority move failed: %+v", res)
+	}
+	// The new home has the full stream and continues it.
+	if pos := cl.Node(1).StreamPos("F"); pos.Seq != 2 {
+		t.Fatalf("stream pos = %v, want e0#2", pos)
+	}
+	after := submitInc(cl, 1, "x")
+	cl.RunFor(2 * time.Second)
+	if !after.Committed {
+		t.Fatalf("post-move txn = %+v", after)
+	}
+	if v, _ := cl.Node(2).Store().Get("x"); v != int64(3) {
+		t.Errorf("x = %v, want 3", v)
+	}
+	if err := cl.Recorder().CheckFragmentwise(); err != nil {
+		t.Errorf("fragmentwise: %v", err)
+	}
+}
+
+func TestMoveMajorityFailsWithoutQuorum(t *testing.T) {
+	cl := newCluster(t, true)
+	defer cl.Shutdown()
+	submitInc(cl, 0, "x")
+	cl.RunFor(200 * time.Millisecond)
+	// Destination isolated: only itself answers — no majority.
+	cl.Net().Partition([]netsim.NodeID{0, 1}, []netsim.NodeID{2})
+	var res Result
+	MoveMajority(cl, "user:m", 2, 500*time.Millisecond, func(r Result) { res = r })
+	cl.RunFor(2 * time.Second)
+	if res.Completed || !errors.Is(res.Err, ErrMoveTimeout) {
+		t.Fatalf("res = %+v", res)
+	}
+	if h, _ := cl.Tokens().Home("user:m"); h != 0 {
+		t.Errorf("agent home = %v, want 0 (stays)", h)
+	}
+}
+
+func TestMoveMajorityRequiresMajorityCommit(t *testing.T) {
+	cl := newCluster(t, false)
+	defer cl.Shutdown()
+	var res Result
+	MoveMajority(cl, "user:m", 1, time.Second, func(r Result) { res = r })
+	if !errors.Is(res.Err, ErrNeedMajorityCommit) {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	cl := newCluster(t, false)
+	defer cl.Shutdown()
+	var res Result
+	MoveNoPrep(cl, "user:ghost", 1, func(r Result) { res = r })
+	if !errors.Is(res.Err, ErrUnknownAgent) {
+		t.Errorf("unknown agent: %+v", res)
+	}
+	MoveNoPrep(cl, "user:m", 0, func(r Result) { res = r })
+	if !errors.Is(res.Err, ErrSameNode) {
+		t.Errorf("same node: %+v", res)
+	}
+}

@@ -1,0 +1,143 @@
+package agentmove
+
+import (
+	"testing"
+	"time"
+
+	"fragdb/internal/core"
+	"fragdb/internal/netsim"
+)
+
+// TestMoveChainAcrossThreeNodes: the agent hops 0 -> 1 -> 2 with data,
+// updating at every stop; the fragment stream stays a single
+// uninterrupted sequence and all guarantees hold.
+func TestMoveChainAcrossThreeNodes(t *testing.T) {
+	cl := newCluster(t, false)
+	defer cl.Shutdown()
+	hop := func(to netsim.NodeID) {
+		var res Result
+		MoveWithData(cl, "user:m", to, 50*time.Millisecond, func(r Result) { res = r })
+		cl.RunFor(200 * time.Millisecond)
+		if !res.Completed {
+			t.Fatalf("hop to %v failed: %+v", to, res)
+		}
+	}
+	// Update, hop, update, hop, update.
+	submitInc(cl, 0, "x")
+	cl.RunFor(100 * time.Millisecond)
+	hop(1)
+	submitInc(cl, 1, "x")
+	cl.RunFor(100 * time.Millisecond)
+	hop(2)
+	submitInc(cl, 2, "x")
+	if !cl.Settle(30 * time.Second) {
+		t.Fatal("did not settle")
+	}
+	if pos := cl.Node(2).StreamPos("F"); pos.Seq != 3 || pos.Epoch != 0 {
+		t.Errorf("stream pos = %v, want e0#3 (single uninterrupted sequence)", pos)
+	}
+	if v, _ := cl.Node(0).Store().Get("x"); v != int64(3) {
+		t.Errorf("x = %v, want 3", v)
+	}
+	if err := cl.CheckMutualConsistency(); err != nil {
+		t.Error(err)
+	}
+	if err := cl.Recorder().CheckFragmentwise(); err != nil {
+		t.Errorf("fragmentwise: %v", err)
+	}
+}
+
+// TestMoveWhileTrafficInFlight: updates keep arriving right up to the
+// block point; the move must neither lose nor duplicate any of them.
+func TestMoveWhileTrafficInFlight(t *testing.T) {
+	cl := newCluster(t, false)
+	defer cl.Shutdown()
+	committed := 0
+	rejected := 0
+	for i := 0; i < 10; i++ {
+		at := time.Duration(i*20) * time.Millisecond
+		cl.Sched().After(at, func() {
+			cl.Node(0).Submit(core.TxnSpec{
+				Agent: "user:m", Fragment: "F",
+				Program: func(tx *core.Tx) error {
+					v, err := tx.ReadInt("x")
+					if err != nil {
+						return err
+					}
+					return tx.Write("x", v+1)
+				},
+			}, func(r core.TxnResult) {
+				if r.Committed {
+					committed++
+				} else {
+					rejected++
+				}
+			})
+		})
+	}
+	// The move starts mid-burst: later submissions at the old home are
+	// refused with ErrAgentMoving or ErrNotHome.
+	cl.Sched().After(90*time.Millisecond, func() {
+		MoveWithData(cl, "user:m", 1, 100*time.Millisecond, nil)
+	})
+	cl.RunFor(time.Second)
+	if !cl.Settle(30 * time.Second) {
+		t.Fatal("did not settle")
+	}
+	if committed+rejected != 10 {
+		t.Fatalf("accounted %d of 10", committed+rejected)
+	}
+	if committed == 0 || rejected == 0 {
+		t.Fatalf("burst should straddle the move: committed=%d rejected=%d", committed, rejected)
+	}
+	// The counter equals exactly the committed count everywhere.
+	if v, _ := cl.Node(2).Store().Get("x"); v != int64(committed) {
+		t.Errorf("x = %v, want %d", v, committed)
+	}
+	if err := cl.CheckMutualConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentMovesOfDistinctAgents: two agents of different
+// fragments move in opposite directions at the same time.
+func TestConcurrentMovesOfDistinctAgents(t *testing.T) {
+	cl := core.NewCluster(core.Config{N: 3, Option: core.UnrestrictedReads, Seed: 61})
+	cl.Catalog().AddFragment("FA", "a")
+	cl.Catalog().AddFragment("FB", "b")
+	cl.Tokens().Assign("FA", "user:a", 0)
+	cl.Tokens().Assign("FB", "user:b", 1)
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cl.Load("a", int64(0))
+	cl.Load("b", int64(0))
+	defer cl.Shutdown()
+
+	var ra, rb Result
+	MoveWithData(cl, "user:a", 1, 100*time.Millisecond, func(r Result) { ra = r })
+	MoveWithData(cl, "user:b", 0, 100*time.Millisecond, func(r Result) { rb = r })
+	cl.RunFor(500 * time.Millisecond)
+	if !ra.Completed || !rb.Completed {
+		t.Fatalf("moves: %+v %+v", ra, rb)
+	}
+	// Both agents update at their new homes.
+	okA, okB := false, false
+	cl.Node(1).Submit(core.TxnSpec{
+		Agent: "user:a", Fragment: "FA",
+		Program: func(tx *core.Tx) error { return tx.Write("a", int64(1)) },
+	}, func(r core.TxnResult) { okA = r.Committed })
+	cl.Node(0).Submit(core.TxnSpec{
+		Agent: "user:b", Fragment: "FB",
+		Program: func(tx *core.Tx) error { return tx.Write("b", int64(1)) },
+	}, func(r core.TxnResult) { okB = r.Committed })
+	if !cl.Settle(30 * time.Second) {
+		t.Fatal("did not settle")
+	}
+	if !okA || !okB {
+		t.Fatalf("post-move txns: a=%v b=%v", okA, okB)
+	}
+	if err := cl.CheckMutualConsistency(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,77 @@
+package agentmove
+
+import (
+	"fragdb/internal/core"
+	"fragdb/internal/fragments"
+	"fragdb/internal/netsim"
+	"fragdb/internal/simtime"
+	"fragdb/internal/txn"
+)
+
+// ElectAgent reconstitutes a fragment's token after its owner was lost
+// to a failure (Section 4.4.1: "if the token was lost because of a
+// failure, it can be reconstituted through an election"). The cluster
+// must run majority commit, so every committed update on the fragment
+// is known to a majority of nodes; the electing node queries all nodes
+// for the fragment's latest stream position, and once a majority
+// (itself included) has answered, it waits for its own copy to reach
+// the highest reported position and then assumes agency for newAgent at
+// node at.
+//
+// Electing without a majority is impossible by construction — the same
+// property that makes the reconstructed stream complete. If no majority
+// answers within maxWait the election fails and the token registry is
+// untouched.
+func ElectAgent(cl *core.Cluster, f fragments.FragmentID, newAgent fragments.AgentID,
+	at netsim.NodeID, maxWait simtime.Duration, done func(Result)) {
+	start := cl.Now()
+	fail := func(err error) {
+		if done != nil {
+			done(Result{Agent: newAgent, To: at, Err: err, Start: start, End: cl.Now()})
+		}
+	}
+	if !cl.Config().MajorityCommit {
+		fail(ErrNeedMajorityCommit)
+		return
+	}
+	if _, ok := cl.Catalog().Fragment(f); !ok {
+		fail(ErrUnknownAgent)
+		return
+	}
+	node := cl.Node(at)
+	majority := cl.Config().N/2 + 1
+	answered := map[netsim.NodeID]bool{at: true}
+	maxPos := node.StreamPos(f)
+	decided := false
+	var qid uint64
+	deadline := cl.Sched().After(maxWait, func() {
+		if decided {
+			return
+		}
+		decided = true
+		node.EndQuery(qid)
+		fail(ErrMoveTimeout)
+	})
+	finish := func() {
+		cl.Tokens().Assign(f, newAgent, at)
+		if done != nil {
+			done(Result{Agent: newAgent, To: at, Completed: true, Start: start, End: cl.Now()})
+		}
+	}
+	qid = node.QueryStreamPos(f, func(from netsim.NodeID, pos txn.FragPos) {
+		if decided {
+			return
+		}
+		answered[from] = true
+		if maxPos.Less(pos) {
+			maxPos = pos
+		}
+		if len(answered) < majority {
+			return
+		}
+		decided = true
+		node.EndQuery(qid)
+		cl.Sched().Cancel(deadline)
+		node.WaitForStream(f, maxPos, finish)
+	})
+}

@@ -1,0 +1,98 @@
+package agentmove
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fragdb/internal/core"
+	"fragdb/internal/netsim"
+)
+
+func TestElectAgentAfterHomeCrash(t *testing.T) {
+	cl := newCluster(t, true) // majority commit
+	defer cl.Shutdown()
+	// Two committed updates, each known to a majority.
+	submitInc(cl, 0, "x")
+	cl.RunFor(200 * time.Millisecond)
+	submitInc(cl, 0, "x")
+	cl.RunFor(200 * time.Millisecond)
+	// The agent's home crashes, taking the token with it.
+	cl.Net().SetNodeDown(0, true)
+
+	var res Result
+	ElectAgent(cl, "F", "user:new", 2, 10*time.Second, func(r Result) { res = r })
+	cl.RunFor(5 * time.Second)
+	if !res.Completed {
+		t.Fatalf("election failed: %+v", res)
+	}
+	if a, _ := cl.Tokens().Agent("F"); a != "user:new" {
+		t.Errorf("agent = %v", a)
+	}
+	if h, _ := cl.Tokens().Home("user:new"); h != 2 {
+		t.Errorf("home = %v", h)
+	}
+	// The reconstructed stream is complete: the new agent continues it.
+	if pos := cl.Node(2).StreamPos("F"); pos.Seq != 2 {
+		t.Fatalf("stream pos = %v, want e0#2", pos)
+	}
+	var after core.TxnResult
+	cl.Node(2).Submit(core.TxnSpec{
+		Agent: "user:new", Fragment: "F",
+		Program: func(tx *core.Tx) error {
+			v, err := tx.ReadInt("x")
+			if err != nil {
+				return err
+			}
+			return tx.Write("x", v+1)
+		},
+	}, func(r core.TxnResult) { after = r })
+	cl.RunFor(2 * time.Second)
+	if !after.Committed {
+		t.Fatalf("post-election txn = %+v", after)
+	}
+	if v, _ := cl.Node(1).Store().Get("x"); v != int64(3) {
+		t.Errorf("x = %v, want 3 (no lost updates)", v)
+	}
+	if err := cl.Recorder().CheckFragmentwise(); err != nil {
+		t.Errorf("fragmentwise: %v", err)
+	}
+}
+
+func TestElectAgentFailsWithoutMajority(t *testing.T) {
+	cl := newCluster(t, true)
+	defer cl.Shutdown()
+	submitInc(cl, 0, "x")
+	cl.RunFor(200 * time.Millisecond)
+	// The electing node is isolated: no majority can answer.
+	cl.Net().Partition([]netsim.NodeID{0, 1}, []netsim.NodeID{2})
+	var res Result
+	ElectAgent(cl, "F", "user:new", 2, 500*time.Millisecond, func(r Result) { res = r })
+	cl.RunFor(2 * time.Second)
+	if res.Completed || !errors.Is(res.Err, ErrMoveTimeout) {
+		t.Fatalf("res = %+v", res)
+	}
+	if a, _ := cl.Tokens().Agent("F"); a != "user:m" {
+		t.Errorf("token reassigned without majority: %v", a)
+	}
+}
+
+func TestElectAgentRequiresMajorityCommit(t *testing.T) {
+	cl := newCluster(t, false)
+	defer cl.Shutdown()
+	var res Result
+	ElectAgent(cl, "F", "user:new", 1, time.Second, func(r Result) { res = r })
+	if !errors.Is(res.Err, ErrNeedMajorityCommit) {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestElectAgentUnknownFragment(t *testing.T) {
+	cl := newCluster(t, true)
+	defer cl.Shutdown()
+	var res Result
+	ElectAgent(cl, "NOPE", "user:new", 1, time.Second, func(r Result) { res = r })
+	if !errors.Is(res.Err, ErrUnknownAgent) {
+		t.Errorf("res = %+v", res)
+	}
+}

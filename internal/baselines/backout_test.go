@@ -1,0 +1,100 @@
+package baselines
+
+import (
+	"testing"
+	"time"
+
+	"fragdb/internal/netsim"
+)
+
+// TestBackoutPolicyVoidsOverdraft: the Section 1 scenario 2 run under
+// the back-out repair: after the merge, one of the two $200 withdrawals
+// is voided and the balance returns to $100 — no negative balance, no
+// fines.
+func TestBackoutPolicyVoidsOverdraft(t *testing.T) {
+	s, net := newNet(11, 2)
+	lm := NewLogMerge(s, net, 50*time.Millisecond, 50)
+	lm.Policy = BackoutPolicy
+	defer lm.Shutdown()
+	lm.Load("acct", 300)
+	net.Partition([]netsim.NodeID{0}, []netsim.NodeID{1})
+	lm.Execute(0, Withdraw, "acct", 200, nil)
+	s.RunFor(10 * time.Millisecond)
+	lm.Execute(1, Withdraw, "acct", 200, nil)
+	s.RunFor(time.Second)
+	net.Heal()
+	s.RunFor(5 * time.Second)
+	if !lm.Converged() {
+		t.Fatal("did not converge")
+	}
+	if lm.Backouts == 0 {
+		t.Error("no back-outs recorded")
+	}
+	// Exactly one withdrawal survives: 300 - 200 = 100 at every node.
+	if b0, b1 := lm.Balance(0, "acct"), lm.Balance(1, "acct"); b0 != 100 || b1 != 100 {
+		t.Errorf("balances = %d, %d, want 100", b0, b1)
+	}
+}
+
+// TestBackoutIdempotentAcrossNodes: both partitioned sides may void the
+// same withdrawal independently; unlike duplicate fines, duplicate
+// voids are harmless (the marker is idempotent), so balances do not
+// double-correct.
+func TestBackoutIdempotentAcrossNodes(t *testing.T) {
+	s, net := newNet(12, 3)
+	lm := NewLogMerge(s, net, 50*time.Millisecond, 50)
+	lm.Policy = BackoutPolicy
+	defer lm.Shutdown()
+	lm.Load("acct", 100)
+	net.Partition([]netsim.NodeID{0}, []netsim.NodeID{1}, []netsim.NodeID{2})
+	lm.Execute(0, Withdraw, "acct", 80, nil)
+	s.RunFor(10 * time.Millisecond)
+	lm.Execute(1, Withdraw, "acct", 80, nil)
+	s.RunFor(10 * time.Millisecond)
+	lm.Execute(2, Withdraw, "acct", 80, nil)
+	s.RunFor(time.Second)
+	net.Heal()
+	s.RunFor(10 * time.Second)
+	if !lm.Converged() {
+		t.Fatal("did not converge")
+	}
+	// One withdrawal survives (100-80=20); the other two are voided —
+	// possibly by multiple nodes, with no double effect.
+	for i := 0; i < 3; i++ {
+		if b := lm.Balance(netsim.NodeID(i), "acct"); b != 20 {
+			t.Errorf("node %d balance = %d, want 20", i, b)
+		}
+	}
+}
+
+// TestBackoutCascade: voiding one withdrawal can make a later one valid
+// again; the replay handles the cascade deterministically.
+func TestBackoutCascade(t *testing.T) {
+	s, net := newNet(13, 2)
+	lm := NewLogMerge(s, net, 50*time.Millisecond, 50)
+	lm.Policy = BackoutPolicy
+	defer lm.Shutdown()
+	lm.Load("acct", 100)
+	net.Partition([]netsim.NodeID{0}, []netsim.NodeID{1})
+	// Side 0 withdraws 90 (stamp earlier), side 1 withdraws 60 then 30.
+	lm.Execute(0, Withdraw, "acct", 90, nil)
+	s.RunFor(10 * time.Millisecond)
+	lm.Execute(1, Withdraw, "acct", 60, nil)
+	s.RunFor(10 * time.Millisecond)
+	lm.Execute(1, Withdraw, "acct", 30, nil)
+	s.RunFor(time.Second)
+	net.Heal()
+	s.RunFor(10 * time.Second)
+	if !lm.Converged() {
+		t.Fatal("did not converge")
+	}
+	// Merged order: 90, 60, 30. The 60 drives it negative (10-60) and
+	// is voided; then 30 fits (10-30 = -20? No: 100-90=10, then 30 > 10
+	// so 30 also voids). Final: 10.
+	if b := lm.Balance(0, "acct"); b != 10 {
+		t.Errorf("balance = %d, want 10", b)
+	}
+	if lm.Backouts < 2 {
+		t.Errorf("backouts = %d, want >= 2", lm.Backouts)
+	}
+}

@@ -1,0 +1,213 @@
+package baselines
+
+import (
+	"testing"
+	"time"
+
+	"fragdb/internal/netsim"
+	"fragdb/internal/simtime"
+)
+
+func newNet(seed int64, n int) (*simtime.Scheduler, *netsim.Network) {
+	s := simtime.NewScheduler(seed)
+	return s, netsim.New(s, n, netsim.WithLatency(netsim.FixedLatency(10*time.Millisecond)))
+}
+
+func TestMutexPrimaryServes(t *testing.T) {
+	s, net := newNet(1, 2)
+	m := NewMutex(s, net, 0, time.Second)
+	m.Load("acct", 300)
+	var out Outcome
+	m.Execute(0, Withdraw, "acct", 100, func(o Outcome) { out = o })
+	s.RunFor(time.Second)
+	if !out.Granted {
+		t.Fatalf("out = %+v", out)
+	}
+	if m.Balance(0, "acct") != 200 {
+		t.Errorf("balance = %d", m.Balance(0, "acct"))
+	}
+	// Replica refreshed.
+	if m.Balance(1, "acct") != 200 {
+		t.Errorf("replica = %d", m.Balance(1, "acct"))
+	}
+}
+
+func TestMutexRemoteForwarding(t *testing.T) {
+	s, net := newNet(1, 2)
+	m := NewMutex(s, net, 0, time.Second)
+	m.Load("acct", 300)
+	var out Outcome
+	m.Execute(1, Deposit, "acct", 50, func(o Outcome) { out = o })
+	s.RunFor(time.Second)
+	if !out.Granted {
+		t.Fatalf("out = %+v", out)
+	}
+	if m.Balance(0, "acct") != 350 {
+		t.Errorf("primary = %d", m.Balance(0, "acct"))
+	}
+}
+
+func TestMutexDeniesInsufficientFunds(t *testing.T) {
+	s, net := newNet(1, 2)
+	m := NewMutex(s, net, 0, time.Second)
+	m.Load("acct", 300)
+	var out Outcome
+	m.Execute(0, Withdraw, "acct", 400, func(o Outcome) { out = o })
+	s.RunFor(time.Second)
+	if out.Granted || !out.Denied {
+		t.Fatalf("out = %+v", out)
+	}
+	if m.Balance(0, "acct") != 300 {
+		t.Errorf("balance = %d", m.Balance(0, "acct"))
+	}
+}
+
+func TestMutexPartitionedNodeDenied(t *testing.T) {
+	// The Section 1 scenario: under mutual exclusion, the customer at
+	// the non-primary side "will go home empty-handed."
+	s, net := newNet(1, 2)
+	m := NewMutex(s, net, 0, 300*time.Millisecond)
+	m.Load("acct", 300)
+	net.Partition([]netsim.NodeID{0}, []netsim.NodeID{1})
+	var outA, outB Outcome
+	m.Execute(0, Withdraw, "acct", 100, func(o Outcome) { outA = o })
+	m.Execute(1, Withdraw, "acct", 100, func(o Outcome) { outB = o })
+	s.RunFor(2 * time.Second)
+	if !outA.Granted {
+		t.Errorf("primary-side customer denied: %+v", outA)
+	}
+	if outB.Granted {
+		t.Errorf("partitioned customer served: %+v", outB)
+	}
+	if m.Stats().TimedOut.Load() != 1 {
+		t.Errorf("TimedOut = %d", m.Stats().TimedOut.Load())
+	}
+	// Never an overdraft.
+	if m.Balance(0, "acct") != 200 {
+		t.Errorf("balance = %d", m.Balance(0, "acct"))
+	}
+}
+
+func TestLogMergeBothServedScenario1(t *testing.T) {
+	// Section 1 scenario 1: $100 + $100 from $300 during a partition —
+	// both granted, consistent after merge, no corrective action.
+	s, net := newNet(2, 2)
+	lm := NewLogMerge(s, net, 50*time.Millisecond, 50)
+	defer lm.Shutdown()
+	lm.Load("acct", 300)
+	net.Partition([]netsim.NodeID{0}, []netsim.NodeID{1})
+	var outA, outB Outcome
+	lm.Execute(0, Withdraw, "acct", 100, func(o Outcome) { outA = o })
+	lm.Execute(1, Withdraw, "acct", 100, func(o Outcome) { outB = o })
+	s.RunFor(time.Second)
+	if !outA.Granted || !outB.Granted {
+		t.Fatalf("outA=%+v outB=%+v", outA, outB)
+	}
+	net.Heal()
+	s.RunFor(3 * time.Second)
+	if !lm.Converged() {
+		t.Fatal("logs did not converge")
+	}
+	if got := lm.Balance(0, "acct"); got != 100 {
+		t.Errorf("balance = %d, want 100", got)
+	}
+	if lm.Overdrafts("acct") != 0 {
+		t.Errorf("overdrafts = %d", lm.Overdrafts("acct"))
+	}
+	if lm.Stats().CorrectiveActions.Load() != 0 {
+		t.Errorf("fines = %d", lm.Stats().CorrectiveActions.Load())
+	}
+}
+
+func TestLogMergeOverdraftAndFinesScenario2(t *testing.T) {
+	// Section 1 scenario 2: $200 + $200 from $300 — both granted during
+	// the partition; after the merge the balance is negative and fines
+	// are assessed. Because both nodes detect the overdraft
+	// independently, duplicate fines can arise — the paper's
+	// decentralized-corrective-action anomaly.
+	s, net := newNet(3, 2)
+	lm := NewLogMerge(s, net, 50*time.Millisecond, 50)
+	defer lm.Shutdown()
+	lm.Load("acct", 300)
+	net.Partition([]netsim.NodeID{0}, []netsim.NodeID{1})
+	var outA, outB Outcome
+	lm.Execute(0, Withdraw, "acct", 200, func(o Outcome) { outA = o })
+	s.RunFor(10 * time.Millisecond)
+	lm.Execute(1, Withdraw, "acct", 200, func(o Outcome) { outB = o })
+	s.RunFor(time.Second)
+	if !outA.Granted || !outB.Granted {
+		t.Fatalf("outA=%+v outB=%+v", outA, outB)
+	}
+	net.Heal()
+	s.RunFor(5 * time.Second)
+	if !lm.Converged() {
+		t.Fatal("logs did not converge")
+	}
+	if lm.Overdrafts("acct") == 0 {
+		t.Error("no overdraft detected")
+	}
+	fines := lm.Stats().CorrectiveActions.Load()
+	if fines == 0 {
+		t.Error("no fines assessed")
+	}
+	// Both sides discovered the overdraft at the same (virtual) moment
+	// after the heal: the duplicate-fine anomaly must be visible.
+	if lm.DuplicateFines("acct") == 0 {
+		t.Error("expected duplicate fines from decentralized corrective actions")
+	}
+	// All replicas nonetheless agree (eventual convergence).
+	if lm.Balance(0, "acct") != lm.Balance(1, "acct") {
+		t.Error("replicas disagree after convergence")
+	}
+}
+
+func TestLogMergeLocalViewDenies(t *testing.T) {
+	s, net := newNet(4, 2)
+	lm := NewLogMerge(s, net, 50*time.Millisecond, 50)
+	defer lm.Shutdown()
+	lm.Load("acct", 100)
+	var out Outcome
+	lm.Execute(0, Withdraw, "acct", 200, func(o Outcome) { out = o })
+	s.RunFor(time.Second)
+	if out.Granted {
+		t.Errorf("overdraw against local view granted: %+v", out)
+	}
+}
+
+func TestLogMergeMultipleAccounts(t *testing.T) {
+	s, net := newNet(5, 3)
+	lm := NewLogMerge(s, net, 50*time.Millisecond, 50)
+	defer lm.Shutdown()
+	lm.Load("a1", 100)
+	lm.Load("a2", 200)
+	lm.Execute(0, Deposit, "a1", 10, nil)
+	lm.Execute(1, Withdraw, "a2", 20, nil)
+	lm.Execute(2, Deposit, "a2", 5, nil)
+	s.RunFor(3 * time.Second)
+	if !lm.Converged() {
+		t.Fatal("did not converge")
+	}
+	if lm.Balance(2, "a1") != 110 || lm.Balance(0, "a2") != 185 {
+		t.Errorf("balances: a1=%d a2=%d", lm.Balance(2, "a1"), lm.Balance(0, "a2"))
+	}
+	if lm.LogEntries(0) != lm.LogEntries(2) {
+		t.Error("entry counts differ")
+	}
+}
+
+func TestMutexFineOp(t *testing.T) {
+	s, net := newNet(6, 1)
+	m := NewMutex(s, net, 0, time.Second)
+	m.Load("acct", 100)
+	m.Execute(0, Fine, "acct", 30, nil)
+	s.RunFor(time.Second)
+	if m.Balance(0, "acct") != 70 {
+		t.Errorf("balance = %d", m.Balance(0, "acct"))
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Deposit.String() != "deposit" || Withdraw.String() != "withdraw" || Fine.String() != "fine" {
+		t.Error("Op strings wrong")
+	}
+}

@@ -1,0 +1,228 @@
+// Package baselines implements the two comparison systems of the
+// paper's Section 1, both specialized to the banking workload used
+// throughout the paper:
+//
+//   - Mutex: the mutual-exclusion approach ([8] in the paper). One
+//     node — the token holder — may access and modify the data; all
+//     operations are forwarded to it. During a partition, only the
+//     primary's side gets service: consistency is preserved, but "the
+//     customer at node B will go home empty-handed."
+//
+//   - LogMerge: the log-transformation approach ([2] in the paper), a
+//     "free-for-all": every node processes operations against its local
+//     replica immediately, and nodes exchange logs when communication
+//     permits. Balances may go negative during partitions; corrective
+//     actions (fines) are assessed after the fact — and, because every
+//     node decides independently, two nodes can fine the same overdraft
+//     twice, the exact decision-quagmire the paper warns about.
+//
+// The fragments-and-agents treatment of the same workload lives in
+// package workload (Bank); the experiment harness runs all three
+// against identical scripts.
+package baselines
+
+import (
+	"fragdb/internal/metrics"
+	"fragdb/internal/netsim"
+	"fragdb/internal/simtime"
+)
+
+// Op is a banking operation kind.
+type Op int
+
+// Banking operations.
+const (
+	Deposit Op = iota
+	Withdraw
+	Fine
+	// Void marks a withdrawal backed out during log reconciliation
+	// (LogMerge's BackoutPolicy).
+	Void
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case Deposit:
+		return "deposit"
+	case Withdraw:
+		return "withdraw"
+	case Fine:
+		return "fine"
+	default:
+		return "void"
+	}
+}
+
+// Outcome reports one banking operation's result.
+type Outcome struct {
+	// Granted is true if the operation was accepted.
+	Granted bool
+	// Denied is true if the system refused it (insufficient funds or
+	// unreachable primary).
+	Denied bool
+	// Err describes a denial cause for reporting.
+	Reason string
+}
+
+// --- mutual exclusion (primary site) ----------------------------------
+
+// mutex wire messages.
+type (
+	mReq struct {
+		ID     uint64
+		Op     Op
+		Acct   string
+		Amount int64
+		From   netsim.NodeID
+	}
+	mReply struct {
+		ID      uint64
+		Granted bool
+		Reason  string
+	}
+	mRepl struct { // replica refresh after a committed update
+		Acct string
+		Bal  int64
+	}
+)
+
+// Mutex is the mutual-exclusion baseline: a primary-site banking
+// database. All updates execute at the primary; other nodes forward
+// requests and fail if the primary is unreachable.
+type Mutex struct {
+	sched   *simtime.Scheduler
+	net     *netsim.Network
+	primary netsim.NodeID
+	timeout simtime.Duration
+	stats   *metrics.Counters
+
+	// balances[n] is node n's replica (authoritative at the primary).
+	balances []map[string]int64
+
+	nextID  uint64
+	pending map[uint64]*mutexPending
+}
+
+type mutexPending struct {
+	done    func(Outcome)
+	timeout *simtime.Event
+}
+
+// NewMutex builds the baseline over an existing simulated network. The
+// primary holds the single token for the entire database.
+func NewMutex(sched *simtime.Scheduler, net *netsim.Network, primary netsim.NodeID, timeout simtime.Duration) *Mutex {
+	m := &Mutex{
+		sched: sched, net: net, primary: primary, timeout: timeout,
+		stats:   &metrics.Counters{},
+		pending: make(map[uint64]*mutexPending),
+	}
+	m.balances = make([]map[string]int64, net.N())
+	for i := range m.balances {
+		m.balances[i] = make(map[string]int64)
+	}
+	for i := 0; i < net.N(); i++ {
+		id := netsim.NodeID(i)
+		net.SetHandler(id, func(from netsim.NodeID, payload any) { m.handle(id, from, payload) })
+	}
+	return m
+}
+
+// Name identifies the system in experiment tables.
+func (m *Mutex) Name() string { return "mutual-exclusion" }
+
+// Stats returns the baseline's counters.
+func (m *Mutex) Stats() *metrics.Counters { return m.stats }
+
+// Load sets an initial balance on every replica.
+func (m *Mutex) Load(acct string, bal int64) {
+	for i := range m.balances {
+		m.balances[i][acct] = bal
+	}
+}
+
+// Balance returns node's local view of the account balance (exact at
+// the primary, possibly stale elsewhere).
+func (m *Mutex) Balance(node netsim.NodeID, acct string) int64 {
+	return m.balances[node][acct]
+}
+
+// Execute submits a deposit or withdrawal at the given node.
+func (m *Mutex) Execute(node netsim.NodeID, op Op, acct string, amount int64, done func(Outcome)) {
+	m.stats.Offered.Add(1)
+	m.sched.After(0, func() {
+		if node == m.primary {
+			out := m.applyAtPrimary(op, acct, amount)
+			m.finish(out, done)
+			return
+		}
+		m.nextID++
+		id := m.nextID
+		p := &mutexPending{done: done}
+		p.timeout = m.sched.After(m.timeout, func() {
+			delete(m.pending, id)
+			m.stats.TimedOut.Add(1)
+			m.finish(Outcome{Denied: true, Reason: "primary unreachable"}, done)
+		})
+		m.pending[id] = p
+		m.net.Send(node, m.primary, mReq{ID: id, Op: op, Acct: acct, Amount: amount, From: node})
+	})
+}
+
+func (m *Mutex) finish(out Outcome, done func(Outcome)) {
+	if out.Granted {
+		m.stats.Committed.Add(1)
+	} else {
+		m.stats.Aborted.Add(1)
+	}
+	if done != nil {
+		done(out)
+	}
+}
+
+// applyAtPrimary runs the operation under the primary's exclusive
+// access: globally serializable by construction.
+func (m *Mutex) applyAtPrimary(op Op, acct string, amount int64) Outcome {
+	bal := m.balances[m.primary][acct]
+	switch op {
+	case Deposit:
+		bal += amount
+	case Withdraw:
+		if bal < amount {
+			return Outcome{Denied: true, Reason: "insufficient funds"}
+		}
+		bal -= amount
+	case Fine:
+		bal -= amount
+	}
+	m.balances[m.primary][acct] = bal
+	// Refresh replicas (best effort; partitions drop it — replicas are
+	// only used for local read views).
+	for i := 0; i < m.net.N(); i++ {
+		if netsim.NodeID(i) != m.primary {
+			m.net.Send(m.primary, netsim.NodeID(i), mRepl{Acct: acct, Bal: bal})
+		}
+	}
+	return Outcome{Granted: true}
+}
+
+func (m *Mutex) handle(self, from netsim.NodeID, payload any) {
+	switch msg := payload.(type) {
+	case mReq:
+		if self != m.primary {
+			return
+		}
+		out := m.applyAtPrimary(msg.Op, msg.Acct, msg.Amount)
+		m.net.Send(self, msg.From, mReply{ID: msg.ID, Granted: out.Granted, Reason: out.Reason})
+	case mReply:
+		p, ok := m.pending[msg.ID]
+		if !ok {
+			return // timed out already
+		}
+		delete(m.pending, msg.ID)
+		m.sched.Cancel(p.timeout)
+		m.finish(Outcome{Granted: msg.Granted, Denied: !msg.Granted, Reason: msg.Reason}, p.done)
+	case mRepl:
+		m.balances[self][msg.Acct] = msg.Bal
+	}
+}

@@ -1,0 +1,252 @@
+// Package broadcast implements the reliable broadcast mechanism the
+// paper requires of its substrate (Section 2.2): "(1) all messages are
+// eventually delivered; (2) messages broadcast by one of the nodes are
+// processed at all other nodes in the same order as they were sent."
+//
+// The implementation is an epidemic (anti-entropy) protocol over the
+// unreliable point-to-point transport of package netsim:
+//
+//   - Every broadcast message carries (origin, seq) with per-origin
+//     sequence numbers starting at 1.
+//   - A sender optimistically pushes new messages to all peers; pushes
+//     lost to partitions are repaired later.
+//   - Every node stores the full in-order log of every origin's stream
+//     it has delivered, and periodically sends a digest (its contiguous
+//     prefix per origin) to its peers. A peer that has more of any
+//     stream responds with the missing messages. Because any node can
+//     serve any stream, repair works across multi-hop topologies and
+//     even when the origin itself is down or partitioned away.
+//   - Receivers deliver each origin's stream strictly in order,
+//     buffering out-of-order arrivals until the gap fills.
+//
+// Together these give eventual, per-origin-FIFO delivery across
+// arbitrary partition/heal schedules, which is exactly what the
+// quasi-transaction propagation of Section 2.2 needs.
+package broadcast
+
+import (
+	"sort"
+
+	"fragdb/internal/netsim"
+)
+
+// Data is a broadcast payload in flight, tagged with its origin stream
+// position.
+type Data struct {
+	Origin  netsim.NodeID
+	Seq     uint64
+	Payload any
+}
+
+// Digest advertises, per origin, the highest contiguous sequence number
+// the sender has delivered. It both requests repair (the receiver sends
+// anything newer) and suppresses redundant retransmission.
+type Digest struct {
+	Have map[netsim.NodeID]uint64
+}
+
+// Handler consumes broadcast messages in per-origin FIFO order.
+type Handler func(origin netsim.NodeID, seq uint64, payload any)
+
+// Timer schedules callbacks; the netsim scheduler satisfies it in
+// simulation and a wall-clock adapter satisfies it in real-time runs.
+type Timer interface {
+	// AfterFunc arranges for fn to run after roughly d. The returned
+	// function cancels the callback if it has not fired.
+	AfterFunc(d int64, fn func()) (cancel func())
+}
+
+// Config tunes a Broadcaster.
+type Config struct {
+	// GossipInterval is the anti-entropy period in the Timer's time
+	// unit (nanoseconds of virtual or real time). Zero disables the
+	// periodic digest (tests drive repair manually via Gossip).
+	GossipInterval int64
+	// MaxBatch bounds how many missing messages are sent in response to
+	// one digest, per origin. Zero means unlimited.
+	MaxBatch int
+}
+
+// Broadcaster is one node's endpoint of the reliable broadcast. All
+// methods must be called from the transport's delivery context (the
+// simulation event loop, or with external synchronization in real-time
+// mode).
+type Broadcaster struct {
+	node    netsim.NodeID
+	tr      netsim.Transport
+	timer   Timer
+	cfg     Config
+	handler Handler
+
+	nextSeq uint64 // last seq assigned to our own stream
+
+	// logs[o] is the in-order prefix of origin o's stream that this
+	// node has delivered; logs[o][i] has seq i+1.
+	logs map[netsim.NodeID][]any
+	// pending[o] buffers out-of-order messages: seq -> payload.
+	pending map[netsim.NodeID]map[uint64]any
+
+	stopGossip func()
+	stopped    bool
+}
+
+// New creates a broadcaster for node on the given transport. The
+// handler receives every message from every origin (including the
+// node's own sends, which are delivered locally and immediately, so all
+// nodes — origin included — process each stream in the same order).
+func New(node netsim.NodeID, tr netsim.Transport, timer Timer, cfg Config, h Handler) *Broadcaster {
+	b := &Broadcaster{
+		node:    node,
+		tr:      tr,
+		timer:   timer,
+		cfg:     cfg,
+		handler: h,
+		logs:    make(map[netsim.NodeID][]any),
+		pending: make(map[netsim.NodeID]map[uint64]any),
+	}
+	if cfg.GossipInterval > 0 && timer != nil {
+		b.scheduleGossip()
+	}
+	return b
+}
+
+// Node returns the owning node id.
+func (b *Broadcaster) Node() netsim.NodeID { return b.node }
+
+// Stop cancels the periodic gossip.
+func (b *Broadcaster) Stop() {
+	b.stopped = true
+	if b.stopGossip != nil {
+		b.stopGossip()
+	}
+}
+
+func (b *Broadcaster) scheduleGossip() {
+	b.stopGossip = b.timer.AfterFunc(b.cfg.GossipInterval, func() {
+		if b.stopped {
+			return
+		}
+		b.Gossip()
+		b.scheduleGossip()
+	})
+}
+
+// Send broadcasts payload: it is appended to this node's own stream,
+// delivered locally at once, and pushed to every peer. It returns the
+// message's sequence number in the node's stream.
+func (b *Broadcaster) Send(payload any) uint64 {
+	b.nextSeq++
+	seq := b.nextSeq
+	b.logs[b.node] = append(b.logs[b.node], payload)
+	b.handler(b.node, seq, payload)
+	msg := Data{Origin: b.node, Seq: seq, Payload: payload}
+	for p := 0; p < b.tr.N(); p++ {
+		if netsim.NodeID(p) == b.node {
+			continue
+		}
+		b.tr.Send(b.node, netsim.NodeID(p), msg)
+	}
+	return seq
+}
+
+// Prefix reports the highest contiguous sequence number delivered for
+// the given origin.
+func (b *Broadcaster) Prefix(origin netsim.NodeID) uint64 {
+	return uint64(len(b.logs[origin]))
+}
+
+// Log returns the delivered payloads of origin's stream (seq 1..Prefix).
+func (b *Broadcaster) Log(origin netsim.NodeID) []any {
+	out := make([]any, len(b.logs[origin]))
+	copy(out, b.logs[origin])
+	return out
+}
+
+// Gossip sends this node's digest to every peer once. The periodic
+// timer calls it automatically when GossipInterval is set.
+func (b *Broadcaster) Gossip() {
+	d := Digest{Have: make(map[netsim.NodeID]uint64, len(b.logs))}
+	for o, log := range b.logs {
+		d.Have[o] = uint64(len(log))
+	}
+	for p := 0; p < b.tr.N(); p++ {
+		if netsim.NodeID(p) == b.node {
+			continue
+		}
+		b.tr.Send(b.node, netsim.NodeID(p), d)
+	}
+}
+
+// HandleMessage processes a transport delivery addressed to this
+// broadcaster. The owner demultiplexes transport traffic and forwards
+// Data and Digest messages here. It reports whether the message was a
+// broadcast-protocol message.
+func (b *Broadcaster) HandleMessage(from netsim.NodeID, payload any) bool {
+	switch m := payload.(type) {
+	case Data:
+		b.receive(m)
+		return true
+	case Digest:
+		b.repair(from, m)
+		return true
+	}
+	return false
+}
+
+// receive ingests a Data message, delivering in order and buffering
+// gaps.
+func (b *Broadcaster) receive(m Data) {
+	prefix := uint64(len(b.logs[m.Origin]))
+	switch {
+	case m.Seq <= prefix:
+		return // duplicate
+	case m.Seq == prefix+1:
+		b.logs[m.Origin] = append(b.logs[m.Origin], m.Payload)
+		b.handler(m.Origin, m.Seq, m.Payload)
+		b.drain(m.Origin)
+	default:
+		buf, ok := b.pending[m.Origin]
+		if !ok {
+			buf = make(map[uint64]any)
+			b.pending[m.Origin] = buf
+		}
+		buf[m.Seq] = m.Payload
+	}
+}
+
+// drain delivers buffered messages that have become contiguous.
+func (b *Broadcaster) drain(origin netsim.NodeID) {
+	buf := b.pending[origin]
+	for {
+		next := uint64(len(b.logs[origin])) + 1
+		payload, ok := buf[next]
+		if !ok {
+			return
+		}
+		delete(buf, next)
+		b.logs[origin] = append(b.logs[origin], payload)
+		b.handler(origin, next, payload)
+	}
+}
+
+// repair answers a peer's digest with any messages the peer is missing
+// from streams this node has more of.
+func (b *Broadcaster) repair(from netsim.NodeID, d Digest) {
+	origins := make([]netsim.NodeID, 0, len(b.logs))
+	for o := range b.logs {
+		origins = append(origins, o)
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	for _, o := range origins {
+		log := b.logs[o]
+		theirs := d.Have[o]
+		sent := 0
+		for seq := theirs + 1; seq <= uint64(len(log)); seq++ {
+			if b.cfg.MaxBatch > 0 && sent >= b.cfg.MaxBatch {
+				break
+			}
+			b.tr.Send(b.node, from, Data{Origin: o, Seq: seq, Payload: log[seq-1]})
+			sent++
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package broadcast
+
+import (
+	"time"
+
+	"fragdb/internal/simtime"
+)
+
+// SchedulerTimer adapts a simtime.Scheduler to the Timer interface for
+// deterministic simulation runs. Delays are virtual nanoseconds.
+type SchedulerTimer struct {
+	S *simtime.Scheduler
+}
+
+// AfterFunc schedules fn after d virtual nanoseconds.
+func (t SchedulerTimer) AfterFunc(d int64, fn func()) (cancel func()) {
+	e := t.S.After(simtime.Duration(d), fn)
+	return func() { t.S.Cancel(e) }
+}
+
+// WallTimer is a Timer backed by the real clock, for use with the
+// goroutine-based transport of package rtnet. Delays are real
+// nanoseconds.
+type WallTimer struct{}
+
+// AfterFunc schedules fn after d real nanoseconds.
+func (WallTimer) AfterFunc(d int64, fn func()) (cancel func()) {
+	tm := time.AfterFunc(time.Duration(d), fn)
+	return func() { tm.Stop() }
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"fragdb/internal/fragments"
+	"fragdb/internal/netsim"
+	"fragdb/internal/simtime"
+	"fragdb/internal/txn"
+)
+
+func fragIDFor(i int) fragments.FragmentID {
+	return fragments.FragmentID(fmt.Sprintf("S%d", i))
+}
+
+func objFor(i int) fragments.ObjectID {
+	return fragments.ObjectID(fmt.Sprintf("s%d/x", i))
+}
+
+// TestWoundHoldersAbortsLocalReader exercises the wound safety net
+// directly: a committed remote update must never wait behind a local
+// transaction in a cycle, so woundHolders aborts the local lock holder
+// with ErrWounded.
+func TestWoundHoldersAbortsLocalReader(t *testing.T) {
+	cl := bankCluster(t, UnrestrictedReads)
+	defer cl.Shutdown()
+	var res TxnResult
+	cl.Node(1).Submit(TxnSpec{
+		Agent: "user:r", Label: "reader", Timeout: time.Hour,
+		Program: func(tx *Tx) error {
+			if _, err := tx.Read("F0/a"); err != nil {
+				return err
+			}
+			tx.Think(time.Hour) // holds the S lock indefinitely
+			return nil
+		},
+	}, func(r TxnResult) { res = r })
+	cl.RunFor(100 * time.Millisecond)
+	n := cl.Node(1)
+	if len(n.active) != 1 {
+		t.Fatalf("active = %d", len(n.active))
+	}
+	// Simulate the deadlock-breaking path: a quasi-transaction id that
+	// needs the object exclusively.
+	n.woundHolders("F0/a", txn.ID{Origin: 0, Seq: 999})
+	cl.RunFor(100 * time.Millisecond)
+	if res.Committed || !errors.Is(res.Err, ErrWounded) {
+		t.Errorf("res = %+v, want wounded", res)
+	}
+	if cl.Stats().Wounds.Load() != 1 {
+		t.Errorf("Wounds = %d", cl.Stats().Wounds.Load())
+	}
+	// The lock is free now.
+	if len(n.locks.Holders("F0/a")) != 0 {
+		t.Error("lock still held after wound")
+	}
+}
+
+// TestRemoteLockLeaseExpiry: a remote reader's node is partitioned away
+// after the grant; its release message never arrives, but the lease
+// reclaims the lock so the fragment's agent is not wedged.
+func TestRemoteLockLeaseExpiry(t *testing.T) {
+	cl := NewCluster(Config{
+		N: 2, Option: ReadLocks, Seed: 3,
+		RemoteLockLease: 500 * time.Millisecond,
+	})
+	cl.Catalog().AddFragment("F0", "F0/a")
+	cl.Catalog().AddFragment("F1", "F1/a")
+	cl.Tokens().Assign("F0", "node:0", 0)
+	cl.Tokens().Assign("F1", "node:1", 1)
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cl.Load("F0/a", int64(0))
+	cl.Load("F1/a", int64(0))
+	defer cl.Shutdown()
+
+	// Node 0's transaction remotely locks F1/a, then the network cuts
+	// before it can release (it keeps thinking, then its release
+	// message is dropped).
+	cl.Node(0).Submit(TxnSpec{
+		Agent: "node:0", Fragment: "F0", Label: "remote-reader", Timeout: time.Hour,
+		Program: func(tx *Tx) error {
+			if _, err := tx.Read("F1/a"); err != nil {
+				return err
+			}
+			tx.Think(200 * time.Millisecond)
+			return tx.Write("F0/a", int64(1))
+		},
+	}, nil)
+	cl.RunFor(50 * time.Millisecond) // grant has happened
+	cl.Net().Partition([]netsim.NodeID{0}, []netsim.NodeID{1})
+	cl.RunFor(300 * time.Millisecond) // reader commits; release is dropped
+
+	// The writer at node 1 initially blocks on the leaked lock, then the
+	// lease expires and it proceeds.
+	var when simtime.Time
+	cl.Node(1).Submit(TxnSpec{
+		Agent: "node:1", Fragment: "F1", Label: "writer", Timeout: time.Hour,
+		Program: func(tx *Tx) error {
+			return tx.Write("F1/a", int64(9))
+		},
+	}, func(r TxnResult) {
+		if r.Committed {
+			when = r.End
+		}
+	})
+	cl.RunFor(2 * time.Second)
+	if when == 0 {
+		t.Fatal("writer never unblocked: leaked remote lock")
+	}
+	if when < simtime.Time(450*time.Millisecond) {
+		t.Errorf("writer committed at %v, before the lease could expire", when)
+	}
+}
+
+// TestSoakManyFragmentsLongRun is a larger deterministic soak: 8 nodes,
+// 8 fragments, repeated partitions, hundreds of transactions; every
+// audit must still pass.
+func TestSoakManyFragmentsLongRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const n = 8
+	cl := NewCluster(Config{N: n, Option: UnrestrictedReads, Seed: 77})
+	for i := 0; i < n; i++ {
+		f := fragIDFor(i)
+		if err := cl.Catalog().AddFragment(f, objFor(i)); err != nil {
+			t.Fatal(err)
+		}
+		cl.Tokens().Assign(f, fragments.NodeAgent(netsim.NodeID(i)), netsim.NodeID(i))
+	}
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		cl.Load(objFor(i), int64(0))
+	}
+	defer cl.Shutdown()
+
+	const rounds = 60
+	for r := 0; r < rounds; r++ {
+		at := simtime.Time(time.Duration(r*40) * time.Millisecond)
+		cl.Sched().At(at, func() {
+			for i := 0; i < n; i++ {
+				node := netsim.NodeID(i)
+				self := objFor(i)
+				other := objFor((i + 3) % n)
+				cl.Node(node).Submit(TxnSpec{
+					Agent: fragments.NodeAgent(node), Fragment: fragIDFor(i),
+					Program: func(tx *Tx) error {
+						if _, err := tx.Read(other); err != nil {
+							return err
+						}
+						v, err := tx.ReadInt(self)
+						if err != nil {
+							return err
+						}
+						return tx.Write(self, v+1)
+					},
+				}, nil)
+			}
+		})
+	}
+	// Three successive partition episodes with different cuts.
+	cl.Net().ScheduleSplit(simtime.Time(200*time.Millisecond),
+		[]netsim.NodeID{0, 1, 2, 3}, []netsim.NodeID{4, 5, 6, 7})
+	cl.Net().ScheduleHeal(simtime.Time(700 * time.Millisecond))
+	cl.Net().ScheduleSplit(simtime.Time(1100*time.Millisecond),
+		[]netsim.NodeID{0, 2, 4, 6}, []netsim.NodeID{1, 3, 5, 7})
+	cl.Net().ScheduleHeal(simtime.Time(1600 * time.Millisecond))
+	cl.Net().ScheduleSplit(simtime.Time(1900*time.Millisecond),
+		[]netsim.NodeID{0}, []netsim.NodeID{1, 2, 3, 4, 5, 6, 7})
+	cl.Net().ScheduleHeal(simtime.Time(2200 * time.Millisecond))
+
+	cl.RunFor(3 * time.Second)
+	if !cl.Settle(5 * time.Minute) {
+		t.Fatal("did not settle")
+	}
+	if got := cl.Stats().Committed.Load(); got != rounds*n {
+		t.Errorf("committed = %d / %d (full availability expected)", got, rounds*n)
+	}
+	for i := 0; i < n; i++ {
+		if v, _ := cl.Node(0).Store().Get(objFor(i)); v != int64(rounds) {
+			t.Errorf("%s = %v, want %d", objFor(i), v, rounds)
+		}
+	}
+	if err := cl.CheckMutualConsistency(); err != nil {
+		t.Error(err)
+	}
+	if err := cl.Recorder().CheckFragmentwise(); err != nil {
+		t.Errorf("fragmentwise: %v", err)
+	}
+	if err := cl.Recorder().CheckLocalGraphs(); err != nil {
+		t.Errorf("local graphs: %v", err)
+	}
+}

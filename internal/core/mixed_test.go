@@ -1,0 +1,139 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fragdb/internal/fragments"
+	"fragdb/internal/netsim"
+)
+
+// mixedCluster builds four fragments with heterogeneous per-type
+// options (the Conclusions' combined system):
+//
+//	SAFE (node 0): ReadLocks         — conventional serializability
+//	STAR (node 1): AcyclicReads      — declared to read LEAF only
+//	LEAF (node 2): UnrestrictedReads
+//	FREE (node 3): UnrestrictedReads — reads anything
+func mixedCluster(t *testing.T) *Cluster {
+	t.Helper()
+	cl := NewCluster(Config{N: 4, Option: UnrestrictedReads, Seed: 13})
+	for i, f := range []string{"SAFE", "STAR", "LEAF", "FREE"} {
+		fid := fragments.FragmentID(f)
+		if err := cl.Catalog().AddFragment(fid, fragments.ObjectID(f+"/x")); err != nil {
+			t.Fatal(err)
+		}
+		cl.Tokens().Assign(fid, fragments.NodeAgent(netsim.NodeID(i)), netsim.NodeID(i))
+	}
+	cl.SetFragmentOption("SAFE", ReadLocks)
+	cl.SetFragmentOption("STAR", AcyclicReads)
+	cl.DeclareRead("STAR", "LEAF")
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"SAFE", "STAR", "LEAF", "FREE"} {
+		cl.Load(fragments.ObjectID(f+"/x"), int64(0))
+	}
+	return cl
+}
+
+func TestMixedOptionsRouting(t *testing.T) {
+	cl := mixedCluster(t)
+	defer cl.Shutdown()
+
+	// SAFE's transactions take remote read locks: a foreign read across
+	// a partition blocks and times out.
+	cl.Net().Partition([]netsim.NodeID{0}, []netsim.NodeID{1, 2, 3})
+	var safeRes TxnResult
+	cl.Node(0).Submit(TxnSpec{
+		Agent: "node:0", Fragment: "SAFE", Timeout: 300 * time.Millisecond,
+		Program: func(tx *Tx) error {
+			if _, err := tx.Read("LEAF/x"); err != nil {
+				return err
+			}
+			return tx.Write("SAFE/x", int64(1))
+		},
+	}, func(r TxnResult) { safeRes = r })
+	cl.RunFor(time.Second)
+	if safeRes.Committed || !errors.Is(safeRes.Err, ErrTimeout) {
+		t.Errorf("SAFE txn = %+v, want remote-lock timeout", safeRes)
+	}
+
+	// FREE's transactions read the same fragment with no coordination,
+	// even partitioned (node 3 is on the majority side; LEAF's replica
+	// is local).
+	var freeRes TxnResult
+	cl.Node(3).Submit(TxnSpec{
+		Agent: "node:3", Fragment: "FREE",
+		Program: func(tx *Tx) error {
+			if _, err := tx.Read("LEAF/x"); err != nil {
+				return err
+			}
+			if _, err := tx.Read("SAFE/x"); err != nil {
+				return err
+			}
+			return tx.Write("FREE/x", int64(1))
+		},
+	}, func(r TxnResult) { freeRes = r })
+	cl.RunFor(time.Second)
+	if !freeRes.Committed {
+		t.Errorf("FREE txn = %+v, want commit", freeRes)
+	}
+
+	// STAR's transactions obey the declared graph: LEAF is fine, SAFE
+	// is undeclared and rejected.
+	var starErr error
+	cl.Node(1).Submit(TxnSpec{
+		Agent: "node:1", Fragment: "STAR",
+		Program: func(tx *Tx) error {
+			_, starErr = tx.Read("SAFE/x")
+			return starErr
+		},
+	}, nil)
+	cl.RunFor(time.Second)
+	if !errors.Is(starErr, ErrUndeclaredRead) {
+		t.Errorf("STAR undeclared read err = %v", starErr)
+	}
+
+	cl.Net().Heal()
+	if !cl.Settle(60 * time.Second) {
+		t.Fatal("did not settle")
+	}
+	if err := cl.CheckMutualConsistency(); err != nil {
+		t.Error(err)
+	}
+	if err := cl.Recorder().CheckFragmentwise(); err != nil {
+		t.Errorf("fragmentwise: %v", err)
+	}
+}
+
+func TestMixedValidationOnlyConstrainsAcyclicTypes(t *testing.T) {
+	// FREE reads STAR and STAR reads FREE — an elementary cycle — but
+	// only STAR runs under AcyclicReads, and the subgraph of
+	// AcyclicReads sources (STAR->FREE) is a tree: Start must accept.
+	cl := NewCluster(Config{N: 2, Option: UnrestrictedReads, Seed: 1})
+	cl.Catalog().AddFragment("STAR", "s")
+	cl.Catalog().AddFragment("FREE", "f")
+	cl.Tokens().Assign("STAR", "node:0", 0)
+	cl.Tokens().Assign("FREE", "node:1", 1)
+	cl.SetFragmentOption("STAR", AcyclicReads)
+	cl.DeclareRead("STAR", "FREE")
+	cl.DeclareRead("FREE", "STAR")
+	if err := cl.Start(); err != nil {
+		t.Fatalf("mixed validation too strict: %v", err)
+	}
+	cl.Shutdown()
+
+	// Whereas two AcyclicReads types reading each other must be refused.
+	cl2 := NewCluster(Config{N: 2, Option: AcyclicReads, Seed: 1})
+	cl2.Catalog().AddFragment("A", "a")
+	cl2.Catalog().AddFragment("B", "b")
+	cl2.Tokens().Assign("A", "node:0", 0)
+	cl2.Tokens().Assign("B", "node:1", 1)
+	cl2.DeclareRead("A", "B")
+	cl2.DeclareRead("B", "A")
+	if err := cl2.Start(); err == nil {
+		t.Fatal("cyclic AcyclicReads subgraph accepted")
+	}
+}

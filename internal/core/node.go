@@ -1,0 +1,423 @@
+package core
+
+import (
+	"sort"
+
+	"fragdb/internal/broadcast"
+	"fragdb/internal/fragments"
+	"fragdb/internal/lock"
+	"fragdb/internal/netsim"
+	"fragdb/internal/simtime"
+	"fragdb/internal/storage"
+	"fragdb/internal/txn"
+)
+
+// Wire message types (beyond the broadcast layer's own).
+type (
+	// m0Msg is the special message of Section 4.4.3 announcing an
+	// unprepared agent move: the new home node's identity, the new
+	// epoch, and the old-epoch prefix it had installed at move time.
+	m0Msg struct {
+		Fragment fragments.FragmentID
+		NewEpoch uint64
+		// OldLast is the last old-epoch position installed at the new
+		// home before the move (the paper's T_i).
+		OldLast txn.FragPos
+		// Installed carries the old-epoch quasi-transactions themselves
+		// so receivers can fill gaps (rule B(1)).
+		Installed []txn.Quasi
+		// NewHome is where stragglers must be forwarded (rule B(2)).
+		NewHome netsim.NodeID
+	}
+
+	// forwardMsg carries a missing old-epoch quasi-transaction to the
+	// moved agent's new home (rule B(2)).
+	forwardMsg struct {
+		Q txn.Quasi
+	}
+
+	// lockReqMsg asks the receiving node (an agent's home) for a shared
+	// lock on an object it controls, under the Section 4.1 option.
+	lockReqMsg struct {
+		Txn    txn.ID
+		Object fragments.ObjectID
+		From   netsim.NodeID
+	}
+
+	// lockGrantMsg grants a remote read lock, carrying the
+	// authoritative current value and version.
+	lockGrantMsg struct {
+		Txn     txn.ID
+		Object  fragments.ObjectID
+		Value   any
+		Known   bool // object had a value
+		Version storage.Version
+		// From is the serving node, to which the release must be sent.
+		From netsim.NodeID
+	}
+
+	// lockDenyMsg refuses a remote read lock (deadlock victim).
+	lockDenyMsg struct {
+		Txn    txn.ID
+		Object fragments.ObjectID
+	}
+
+	// lockReleaseMsg releases every lock the transaction holds at the
+	// receiving node.
+	lockReleaseMsg struct {
+		Txn txn.ID
+	}
+
+	// prepareMsg is phase one of the Section 4.4.1 majority commit: the
+	// quasi-transaction is buffered, not applied, and acknowledged.
+	prepareMsg struct {
+		Q txn.Quasi
+	}
+
+	// ackMsg acknowledges a prepareMsg back to the home node.
+	ackMsg struct {
+		Txn  txn.ID
+		From netsim.NodeID
+	}
+
+	// commitCmdMsg is phase two: apply the buffered quasi-transaction.
+	commitCmdMsg struct {
+		Txn      txn.ID
+		Fragment fragments.FragmentID
+	}
+
+	// abortCmdMsg cancels a prepared quasi-transaction that failed to
+	// assemble a majority.
+	abortCmdMsg struct {
+		Txn      txn.ID
+		Fragment fragments.FragmentID
+	}
+
+	// posQueryMsg asks a node for its current stream position of a
+	// fragment (used by the majority move protocol of Section 4.4.1).
+	posQueryMsg struct {
+		ID       uint64
+		Fragment fragments.FragmentID
+		From     netsim.NodeID
+	}
+
+	// posReplyMsg answers a posQueryMsg.
+	posReplyMsg struct {
+		ID       uint64
+		Fragment fragments.FragmentID
+		Pos      txn.FragPos
+		From     netsim.NodeID
+	}
+)
+
+// streamState tracks one fragment's update stream at one node.
+type streamState struct {
+	// last is the position of the last update installed locally.
+	last txn.FragPos
+	// pending buffers out-of-order or future-epoch quasi-transactions.
+	pending map[txn.FragPos]txn.Quasi
+	// applying is true while a quasi-transaction is parked on locks; the
+	// stream must not advance past it.
+	applying bool
+	// appliedLog keeps the quasi-transactions installed in this epoch,
+	// for M0 construction (only maintained for fragments whose agents
+	// may move without preparation; bounded by workload size).
+	appliedLog []txn.Quasi
+
+	// forward mode (rule B(2)): old-epoch stragglers with positions
+	// beyond oldInstalled are forwarded to forwardTo instead of applied.
+	forward      bool
+	forwardTo    netsim.NodeID
+	oldEpoch     uint64
+	oldInstalled uint64
+
+	// recovering marks the new home node after an unprepared move: it
+	// repackages old-epoch stragglers (rule A(2)).
+	recovering bool
+	// recovered remembers original transaction ids already repackaged.
+	recovered map[txn.ID]bool
+
+	// seen tracks applied quasi-transactions of commutative fragments
+	// (which are deduplicated by identity rather than by position).
+	seen map[txn.ID]bool
+
+	// prepared buffers majority-commit quasi-transactions awaiting the
+	// commit command, keyed by originating transaction.
+	prepared map[txn.ID]txn.Quasi
+
+	// moveBlocked refuses new update transactions while the agent is
+	// mid-move (set by agentmove protocols).
+	moveBlocked bool
+
+	// waiters are callbacks run whenever the stream advances (used by
+	// move-with-sequence-number to wait for a prefix).
+	waiters []func()
+}
+
+// Node is one site's database engine.
+type Node struct {
+	id    netsim.NodeID
+	cl    *Cluster
+	store *storage.Store
+	locks *lock.Manager
+	bcast *broadcast.Broadcaster
+
+	nextTxnSeq uint64
+	active     map[txn.ID]*activeTxn
+	streams    map[fragments.FragmentID]*streamState
+
+	// quasiWaiters tracks quasi-transactions blocked on write locks.
+	quasiWaiters map[txn.ID]*quasiWaiter
+
+	// remoteHeld tracks remote transactions holding locks here (option
+	// 4.1 server side), with their lease-expiry events.
+	remoteHeld map[txn.ID]*remoteHolder
+	// remoteQueued maps a remotely-requesting transaction to the
+	// requester node, for replying when its queued lock is granted.
+	remoteQueued map[txn.ID]remoteQueue
+
+	// posQueries maps outstanding position-query ids to their reply
+	// callbacks.
+	nextQueryID uint64
+	posQueries  map[uint64]func(from netsim.NodeID, pos txn.FragPos)
+
+	// multi-fragment 2PC state: coordinator rounds by coordinator txn
+	// id, prepared parts by (mid, fragment) and by lock-holder id.
+	multiCoords map[txn.ID]*multiCoord
+	multiParts  map[partKey]*multiPart
+	multiByPid  map[txn.ID]*multiPart
+}
+
+type remoteHolder struct {
+	from    netsim.NodeID
+	leaseEv *simtime.Event
+}
+
+type remoteQueue struct {
+	from netsim.NodeID
+	obj  fragments.ObjectID
+}
+
+func newNode(cl *Cluster, id netsim.NodeID) *Node {
+	n := &Node{
+		id:           id,
+		cl:           cl,
+		store:        storage.New(id, cl.cat),
+		locks:        lock.NewManager(),
+		active:       make(map[txn.ID]*activeTxn),
+		streams:      make(map[fragments.FragmentID]*streamState),
+		remoteHeld:   make(map[txn.ID]*remoteHolder),
+		remoteQueued: make(map[txn.ID]remoteQueue),
+		posQueries:   make(map[uint64]func(netsim.NodeID, txn.FragPos)),
+	}
+	n.bcast = broadcast.New(id, cl.net, cl.timer(),
+		broadcast.Config{GossipInterval: int64(cl.cfg.GossipInterval)},
+		n.handleBroadcast)
+	cl.net.SetHandler(id, n.handleTransport)
+	return n
+}
+
+// ID returns the node's id.
+func (n *Node) ID() netsim.NodeID { return n.id }
+
+// Store exposes the node's local database copy (read-only use).
+func (n *Node) Store() *storage.Store { return n.store }
+
+// Broadcaster exposes the node's broadcast endpoint.
+func (n *Node) Broadcaster() *broadcast.Broadcaster { return n.bcast }
+
+// stream returns (creating if needed) the stream state for a fragment.
+func (n *Node) stream(f fragments.FragmentID) *streamState {
+	st, ok := n.streams[f]
+	if !ok {
+		st = &streamState{
+			pending:   make(map[txn.FragPos]txn.Quasi),
+			recovered: make(map[txn.ID]bool),
+			prepared:  make(map[txn.ID]txn.Quasi),
+			seen:      make(map[txn.ID]bool),
+		}
+		n.streams[f] = st
+	}
+	return st
+}
+
+// StreamPos reports the last installed position of a fragment's update
+// stream at this node.
+func (n *Node) StreamPos(f fragments.FragmentID) txn.FragPos {
+	return n.stream(f).last
+}
+
+// handleTransport demultiplexes raw transport deliveries.
+func (n *Node) handleTransport(from netsim.NodeID, payload any) {
+	if n.bcast.HandleMessage(from, payload) {
+		return
+	}
+	switch m := payload.(type) {
+	case lockReqMsg:
+		n.serveLockRequest(m)
+	case lockGrantMsg:
+		n.handleLockGrant(m)
+	case lockDenyMsg:
+		n.handleLockDeny(m)
+	case lockReleaseMsg:
+		n.handleLockRelease(m)
+	case forwardMsg:
+		n.handleForwarded(m)
+	case ackMsg:
+		n.handleAck(m)
+	case multiPrepareMsg:
+		n.handleMultiPrepare(m)
+	case multiVoteMsg:
+		n.handleMultiVote(m)
+	case multiCommitMsg:
+		n.handleMultiCommit(m)
+	case multiAbortMsg:
+		n.handleMultiAbort(m)
+	case posQueryMsg:
+		n.cl.net.Send(n.id, m.From, posReplyMsg{
+			ID: m.ID, Fragment: m.Fragment, Pos: n.stream(m.Fragment).last, From: n.id,
+		})
+	case posReplyMsg:
+		if fn, ok := n.posQueries[m.ID]; ok {
+			fn(m.From, m.Pos)
+		}
+	}
+}
+
+// handleBroadcast consumes messages delivered by the reliable broadcast
+// in per-origin FIFO order.
+func (n *Node) handleBroadcast(origin netsim.NodeID, seq uint64, payload any) {
+	switch m := payload.(type) {
+	case txn.Quasi:
+		n.ingestQuasi(m)
+	case m0Msg:
+		n.handleM0(m)
+	case prepareMsg:
+		n.handlePrepare(origin, m)
+	case commitCmdMsg:
+		n.handleCommitCmd(m)
+	case abortCmdMsg:
+		n.handleAbortCmd(m)
+	}
+}
+
+// ingestQuasi feeds a quasi-transaction into its fragment's stream,
+// applying in position order and buffering gaps.
+func (n *Node) ingestQuasi(q txn.Quasi) {
+	if !n.cl.IsReplica(q.Fragment, n.id) {
+		// Partial replication: this node relays the broadcast stream but
+		// installs nothing.
+		return
+	}
+	st := n.stream(q.Fragment)
+	if n.cl.IsCommutative(q.Fragment) {
+		if st.seen[q.Txn] {
+			return
+		}
+		st.seen[q.Txn] = true
+		n.applyQuasiUnordered(q.Fragment, st, q)
+		return
+	}
+	switch {
+	case q.Pos.Epoch < st.last.Epoch:
+		// Old-epoch straggler: a missing transaction (Section 4.4.3).
+		n.handleStraggler(st, q)
+	case q.Pos.Epoch > st.last.Epoch:
+		// Future epoch: the M0 announcement has not arrived yet; buffer.
+		st.pending[q.Pos] = q
+	case q.Pos.Seq <= st.last.Seq:
+		// Duplicate (e.g. the home node's own local delivery).
+	default:
+		st.pending[q.Pos] = q
+		n.drainStream(q.Fragment, st)
+	}
+}
+
+// drainStream applies buffered quasi-transactions that are next in
+// order, as long as none parks on locks.
+func (n *Node) drainStream(f fragments.FragmentID, st *streamState) {
+	for !st.applying {
+		next := st.last.Next()
+		q, ok := st.pending[next]
+		if !ok {
+			return
+		}
+		delete(st.pending, next)
+		n.applyQuasi(f, st, q)
+	}
+}
+
+// handleStraggler deals with an old-epoch quasi-transaction arriving
+// after the fragment moved epochs.
+func (n *Node) handleStraggler(st *streamState, q txn.Quasi) {
+	if st.recovering {
+		n.recoverMissing(q.Fragment, st, q)
+		return
+	}
+	if st.forward && q.Pos.Epoch == st.oldEpoch && q.Pos.Seq > st.oldInstalled {
+		// Rule B(2): do not process; forward to the new home.
+		n.cl.stats.QuasiForwarded.Add(1)
+		n.cl.net.Send(n.id, st.forwardTo, forwardMsg{Q: q})
+	}
+	// Otherwise: duplicate of something installed before the switch.
+}
+
+// notifyStreamWaiters runs and clears stream-advance callbacks.
+func (n *Node) notifyStreamWaiters(st *streamState) {
+	if len(st.waiters) == 0 {
+		return
+	}
+	ws := st.waiters
+	st.waiters = nil
+	for _, w := range ws {
+		w()
+	}
+}
+
+// QueryStreamPos asks every other node for its current stream position
+// of fragment f. Replies (from nodes reachable now or later) invoke
+// onReply; the caller counts them and applies its own quorum and
+// timeout policy. EndQuery stops the collection.
+func (n *Node) QueryStreamPos(f fragments.FragmentID, onReply func(from netsim.NodeID, pos txn.FragPos)) (queryID uint64) {
+	n.nextQueryID++
+	id := n.nextQueryID
+	n.posQueries[id] = onReply
+	for p := 0; p < n.cl.cfg.N; p++ {
+		if netsim.NodeID(p) == n.id {
+			continue
+		}
+		n.cl.net.Send(n.id, netsim.NodeID(p), posQueryMsg{ID: id, Fragment: f, From: n.id})
+	}
+	return id
+}
+
+// EndQuery stops delivering replies for a query started with
+// QueryStreamPos.
+func (n *Node) EndQuery(id uint64) { delete(n.posQueries, id) }
+
+// WaitForStream invokes fn once the fragment's stream at this node has
+// reached at least pos (immediately if it already has). Used by the
+// move-with-sequence-number protocol (Section 4.4.2B).
+func (n *Node) WaitForStream(f fragments.FragmentID, pos txn.FragPos, fn func()) {
+	st := n.stream(f)
+	var check func()
+	check = func() {
+		if !pos.Less(st.last) && pos != st.last {
+			st.waiters = append(st.waiters, check)
+			return
+		}
+		fn()
+	}
+	check()
+}
+
+// sortedWriteObjects returns a quasi-transaction's write set in
+// deterministic order.
+func sortedWriteObjects(ws []txn.WriteOp) []fragments.ObjectID {
+	out := make([]fragments.ObjectID, 0, len(ws))
+	for _, w := range ws {
+		out = append(out, w.Object)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

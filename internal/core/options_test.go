@@ -1,0 +1,413 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fragdb/internal/fragments"
+	"fragdb/internal/history"
+	"fragdb/internal/netsim"
+	"fragdb/internal/simtime"
+)
+
+func TestAcyclicReadsRejectsCyclicRAGAtStart(t *testing.T) {
+	cl := NewCluster(Config{N: 2, Option: AcyclicReads, Seed: 1})
+	cl.Catalog().AddFragment("A", "a")
+	cl.Catalog().AddFragment("B", "b")
+	cl.Tokens().Assign("A", "node:0", 0)
+	cl.Tokens().Assign("B", "node:1", 1)
+	cl.DeclareRead("A", "B")
+	cl.DeclareRead("B", "A") // elementary cycle
+	if err := cl.Start(); err == nil {
+		t.Fatal("Start accepted an elementarily cyclic read-access graph")
+	}
+}
+
+func TestAcyclicReadsBlocksUndeclaredRead(t *testing.T) {
+	cl := bankCluster(t, AcyclicReads) // declares F0->F1, F0->F2 only
+	defer cl.Shutdown()
+	var rerr error
+	// F1's agent reads F2: undeclared.
+	res := submitSync(cl, 1, TxnSpec{
+		Agent: "node:1", Fragment: "F1",
+		Program: func(tx *Tx) error {
+			_, rerr = tx.Read("F2/a")
+			return rerr
+		},
+	})
+	cl.Settle(time.Second)
+	if !errors.Is(rerr, ErrUndeclaredRead) {
+		t.Errorf("read err = %v", rerr)
+	}
+	if res.Committed {
+		t.Error("undeclared-read transaction committed")
+	}
+	// Declared read works.
+	var ok error
+	res2 := submitSync(cl, 0, TxnSpec{
+		Agent: "node:0", Fragment: "F0",
+		Program: func(tx *Tx) error {
+			_, ok = tx.Read("F1/a")
+			if ok != nil {
+				return ok
+			}
+			return tx.Write("F0/a", int64(1))
+		},
+	})
+	cl.Settle(5 * time.Second)
+	if !res2.Committed || ok != nil {
+		t.Errorf("declared read failed: %+v %v", res2, ok)
+	}
+	// Read-only transactions are exempt from the restriction.
+	var roErr error
+	res3 := submitSync(cl, 1, TxnSpec{
+		Agent: "user:reader",
+		Program: func(tx *Tx) error {
+			_, roErr = tx.Read("F2/a")
+			return roErr
+		},
+	})
+	cl.Settle(time.Second)
+	if !res3.Committed || roErr != nil {
+		t.Errorf("read-only exemption failed: %+v %v", res3, roErr)
+	}
+}
+
+func TestAcyclicReadsGloballySerializableUnderLoad(t *testing.T) {
+	// Warehouse-style star workload (Figure 4.2.1): the center reads
+	// every leaf while leaves update themselves; despite zero read
+	// locks, the schedule must be globally serializable.
+	cl := NewCluster(Config{N: 4, Option: AcyclicReads, Seed: 7})
+	cl.Catalog().AddFragment("C", "c/plan")
+	for i := 1; i <= 3; i++ {
+		f := fragments.FragmentID(string(rune('W'-1+i)) + "") // V, W, X... keep simple below
+		_ = f
+	}
+	// Use explicit names.
+	for _, f := range []fragments.FragmentID{"W1", "W2", "W3"} {
+		cl.Catalog().AddFragment(f, fragments.ObjectID(string(f)+"/stock"))
+	}
+	cl.Tokens().Assign("C", "node:0", 0)
+	cl.Tokens().Assign("W1", "node:1", 1)
+	cl.Tokens().Assign("W2", "node:2", 2)
+	cl.Tokens().Assign("W3", "node:3", 3)
+	cl.DeclareRead("C", "W1")
+	cl.DeclareRead("C", "W2")
+	cl.DeclareRead("C", "W3")
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cl.Load("c/plan", int64(0))
+	for _, f := range []string{"W1", "W2", "W3"} {
+		cl.Load(fragments.ObjectID(f+"/stock"), int64(100))
+	}
+	// Leaves sell stock; center scans and plans.
+	for round := 0; round < 8; round++ {
+		for i := 1; i <= 3; i++ {
+			node := netsim.NodeID(i)
+			obj := fragments.ObjectID([]string{"", "W1/stock", "W2/stock", "W3/stock"}[i])
+			f := fragments.FragmentID([]string{"", "W1", "W2", "W3"}[i])
+			cl.Sched().At(simtime.Time(time.Duration(round*40+i*3)*time.Millisecond), func() {
+				cl.Node(node).Submit(TxnSpec{
+					Agent: fragments.NodeAgent(node), Fragment: f,
+					Program: func(tx *Tx) error {
+						v, err := tx.ReadInt(obj)
+						if err != nil {
+							return err
+						}
+						return tx.Write(obj, v-1)
+					},
+				}, nil)
+			})
+		}
+		cl.Sched().At(simtime.Time(time.Duration(round*40+20)*time.Millisecond), func() {
+			cl.Node(0).Submit(TxnSpec{
+				Agent: "node:0", Fragment: "C",
+				Program: func(tx *Tx) error {
+					total := int64(0)
+					for _, o := range []fragments.ObjectID{"W1/stock", "W2/stock", "W3/stock"} {
+						v, err := tx.ReadInt(o)
+						if err != nil {
+							return err
+						}
+						total += v
+					}
+					return tx.Write("c/plan", total)
+				},
+			}, nil)
+		})
+	}
+	cl.Net().ScheduleSplit(simtime.Time(100*time.Millisecond), []netsim.NodeID{0, 1}, []netsim.NodeID{2, 3})
+	cl.Net().ScheduleHeal(simtime.Time(250 * time.Millisecond))
+	if !cl.Settle(30 * time.Second) {
+		t.Fatal("did not settle")
+	}
+	defer cl.Shutdown()
+	if err := cl.Recorder().CheckGlobal(history.Options{}); err != nil {
+		t.Errorf("global serializability violated under acyclic reads: %v", err)
+	}
+	if err := cl.CheckMutualConsistency(); err != nil {
+		t.Error(err)
+	}
+	// All 32 transactions committed: no read locks, full availability.
+	if got := cl.Stats().Committed.Load(); got != 32 {
+		t.Errorf("committed = %d / 32", got)
+	}
+}
+
+func TestReadLocksRemoteReadGetsAuthoritativeValue(t *testing.T) {
+	cl := bankCluster(t, ReadLocks)
+	defer cl.Shutdown()
+	// Node 1 updates F1/a; then node 0's transaction reads it remotely
+	// before the quasi-transaction could reach node 0's replica.
+	submitSync(cl, 1, TxnSpec{
+		Agent: "node:1", Fragment: "F1",
+		Program: func(tx *Tx) error { return tx.Write("F1/a", int64(77)) },
+	})
+	cl.RunFor(5 * time.Millisecond) // commit locally, quasi still in flight
+	var got int64
+	res := submitSync(cl, 0, TxnSpec{
+		Agent: "node:0", Fragment: "F0",
+		Program: func(tx *Tx) error {
+			v, err := tx.ReadInt("F1/a")
+			if err != nil {
+				return err
+			}
+			got = v
+			return tx.Write("F0/a", v)
+		},
+	})
+	cl.Settle(10 * time.Second)
+	if !res.Committed {
+		t.Fatalf("res = %+v", res)
+	}
+	if got != 77 {
+		t.Errorf("remote read saw %d, want authoritative 77", got)
+	}
+}
+
+func TestReadLocksBlockDuringPartition(t *testing.T) {
+	cl := bankCluster(t, ReadLocks)
+	defer cl.Shutdown()
+	cl.Net().Partition([]netsim.NodeID{0}, []netsim.NodeID{1, 2})
+	var res TxnResult
+	cl.Node(0).Submit(TxnSpec{
+		Agent: "node:0", Fragment: "F0", Timeout: 300 * time.Millisecond,
+		Program: func(tx *Tx) error {
+			_, err := tx.Read("F1/a") // F1's home (node 1) unreachable
+			if err != nil {
+				return err
+			}
+			return tx.Write("F0/a", int64(1))
+		},
+	}, func(r TxnResult) { res = r })
+	cl.RunFor(2 * time.Second)
+	if res.Committed || !errors.Is(res.Err, ErrTimeout) {
+		t.Errorf("res = %+v, want timeout (availability loss under 4.1)", res)
+	}
+	// The same read under UnrestrictedReads succeeds (staleness risk in
+	// exchange for availability) — that is experiment E1's contrast.
+	cl2 := bankCluster(t, UnrestrictedReads)
+	defer cl2.Shutdown()
+	cl2.Net().Partition([]netsim.NodeID{0}, []netsim.NodeID{1, 2})
+	var res2 TxnResult
+	cl2.Node(0).Submit(TxnSpec{
+		Agent: "node:0", Fragment: "F0", Timeout: 300 * time.Millisecond,
+		Program: func(tx *Tx) error {
+			_, err := tx.Read("F1/a")
+			if err != nil {
+				return err
+			}
+			return tx.Write("F0/a", int64(1))
+		},
+	}, func(r TxnResult) { res2 = r })
+	cl2.RunFor(2 * time.Second)
+	if !res2.Committed {
+		t.Errorf("unrestricted res = %+v, want commit", res2)
+	}
+}
+
+func TestReadLocksReleaseOnCommitUnblocksWriter(t *testing.T) {
+	cl := bankCluster(t, ReadLocks)
+	defer cl.Shutdown()
+	// Reader at node 0 locks F1/a remotely; writer at node 1 must wait
+	// until the reader commits and releases.
+	var writerDone simtime.Time
+	cl.Node(0).Submit(TxnSpec{
+		Agent: "node:0", Fragment: "F0", Label: "reader",
+		Program: func(tx *Tx) error {
+			if _, err := tx.Read("F1/a"); err != nil {
+				return err
+			}
+			tx.Think(200 * time.Millisecond)
+			return tx.Write("F0/a", int64(1))
+		},
+	}, nil)
+	cl.Sched().At(simtime.Time(50*time.Millisecond), func() {
+		cl.Node(1).Submit(TxnSpec{
+			Agent: "node:1", Fragment: "F1", Label: "writer",
+			Program: func(tx *Tx) error { return tx.Write("F1/a", int64(5)) },
+		}, func(r TxnResult) { writerDone = r.End })
+	})
+	cl.Settle(30 * time.Second)
+	if writerDone < simtime.Time(200*time.Millisecond) {
+		t.Errorf("writer finished at %v; should have waited for the remote read lock", writerDone)
+	}
+	if err := cl.Recorder().CheckGlobal(history.Options{}); err != nil {
+		t.Errorf("serializability: %v", err)
+	}
+}
+
+// TestSection43LiveReproduction drives the engine through the exact
+// scenario of Figures 4.3.1/4.3.2 using partitions to control update
+// visibility, and verifies the cyclic global serialization graph arises
+// in a real execution while fragmentwise serializability holds.
+func TestSection43LiveReproduction(t *testing.T) {
+	cl := NewCluster(Config{N: 3, Option: UnrestrictedReads, Seed: 3})
+	cl.Catalog().AddFragment("F1", "a")
+	cl.Catalog().AddFragment("F2", "b")
+	cl.Catalog().AddFragment("F3", "c")
+	cl.Tokens().Assign("F1", "node:0", 0)
+	cl.Tokens().Assign("F2", "node:1", 1)
+	cl.Tokens().Assign("F3", "node:2", 2)
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cl.Load("a", int64(0))
+	cl.Load("b", int64(0))
+	cl.Load("c", int64(0))
+	defer cl.Shutdown()
+
+	// Isolate node 0 so T3's and T2's updates do not reach it while T1
+	// reads c.
+	cl.Net().Partition([]netsim.NodeID{0}, []netsim.NodeID{1, 2})
+
+	// T3 at node 2: [(r,c),(w,c)].
+	cl.Node(2).Submit(TxnSpec{
+		Agent: "node:2", Fragment: "F3", Label: "T3",
+		Program: func(tx *Tx) error {
+			v, err := tx.ReadInt("c")
+			if err != nil {
+				return err
+			}
+			return tx.Write("c", v+1)
+		},
+	}, nil)
+	// T2 at node 1 after T3's update is installed there: [(r,c),(w,b)].
+	cl.Sched().At(simtime.Time(100*time.Millisecond), func() {
+		cl.Node(1).Submit(TxnSpec{
+			Agent: "node:1", Fragment: "F2", Label: "T2",
+			Program: func(tx *Tx) error {
+				v, err := tx.ReadInt("c")
+				if err != nil {
+					return err
+				}
+				return tx.Write("b", v*10)
+			},
+		}, nil)
+	})
+	// T1 at node 0: reads c (stale, initial), waits past the heal, reads
+	// b (fresh, from T2), writes a.
+	cl.Sched().At(simtime.Time(150*time.Millisecond), func() {
+		cl.Node(0).Submit(TxnSpec{
+			Agent: "node:0", Fragment: "F1", Label: "T1", Timeout: time.Hour,
+			Program: func(tx *Tx) error {
+				cv, err := tx.ReadInt("c")
+				if err != nil {
+					return err
+				}
+				tx.Think(500 * time.Millisecond) // heal happens during this
+				bv, err := tx.ReadInt("b")
+				if err != nil {
+					return err
+				}
+				return tx.Write("a", cv+bv)
+			},
+		}, nil)
+	})
+	cl.Net().ScheduleHeal(simtime.Time(300 * time.Millisecond))
+	if !cl.Settle(30 * time.Second) {
+		t.Fatal("did not settle")
+	}
+	if err := cl.CheckMutualConsistency(); err != nil {
+		t.Error(err)
+	}
+	// The live schedule must match the paper: globally non-serializable...
+	if err := cl.Recorder().CheckGlobal(history.Options{}); err == nil {
+		t.Error("expected a cyclic global serialization graph (Figure 4.3.2)")
+	}
+	// ...but fragmentwise serializable.
+	if err := cl.Recorder().CheckFragmentwise(); err != nil {
+		t.Errorf("fragmentwise: %v", err)
+	}
+}
+
+func TestMajorityCommitSucceedsWithQuorum(t *testing.T) {
+	cl := NewCluster(Config{N: 3, Option: UnrestrictedReads, Seed: 5, MajorityCommit: true})
+	cl.Catalog().AddFragment("F", "x")
+	cl.Tokens().Assign("F", "node:0", 0)
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cl.Load("x", int64(0))
+	defer cl.Shutdown()
+	// Partition away one node: majority (2 of 3) still commits.
+	cl.Net().Partition([]netsim.NodeID{0, 1}, []netsim.NodeID{2})
+	res := submitSync(cl, 0, TxnSpec{
+		Agent: "node:0", Fragment: "F",
+		Program: func(tx *Tx) error { return tx.Write("x", int64(9)) },
+	})
+	cl.RunFor(2 * time.Second)
+	if !res.Committed {
+		t.Fatalf("majority commit failed with quorum: %+v", res)
+	}
+	if v, _ := cl.Node(1).Store().Get("x"); v != int64(9) {
+		t.Errorf("node 1 x = %v", v)
+	}
+	if v, _ := cl.Node(2).Store().Get("x"); v == int64(9) {
+		t.Error("partitioned node applied before heal")
+	}
+	cl.Net().Heal()
+	if !cl.Settle(20 * time.Second) {
+		t.Fatal("did not settle")
+	}
+	if v, _ := cl.Node(2).Store().Get("x"); v != int64(9) {
+		t.Errorf("node 2 x = %v after heal", v)
+	}
+	if err := cl.CheckMutualConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMajorityCommitBlocksWithoutQuorum(t *testing.T) {
+	cl := NewCluster(Config{N: 3, Option: UnrestrictedReads, Seed: 5, MajorityCommit: true})
+	cl.Catalog().AddFragment("F", "x")
+	cl.Tokens().Assign("F", "node:0", 0)
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cl.Load("x", int64(0))
+	defer cl.Shutdown()
+	// Home node isolated: no majority.
+	cl.Net().Partition([]netsim.NodeID{0}, []netsim.NodeID{1, 2})
+	res := submitSync(cl, 0, TxnSpec{
+		Agent: "node:0", Fragment: "F", Timeout: 500 * time.Millisecond,
+		Program: func(tx *Tx) error { return tx.Write("x", int64(9)) },
+	})
+	cl.RunFor(2 * time.Second)
+	if res.Committed || !errors.Is(res.Err, ErrTimeout) {
+		t.Fatalf("res = %+v, want timeout without majority", res)
+	}
+	// Nothing must have been applied anywhere.
+	cl.Net().Heal()
+	cl.Settle(20 * time.Second)
+	for i := 0; i < 3; i++ {
+		if v, _ := cl.Node(netsim.NodeID(i)).Store().Get("x"); v != int64(0) {
+			t.Errorf("node %d x = %v, want 0 (aborted prepare leaked)", i, v)
+		}
+	}
+	if err := cl.CheckMutualConsistency(); err != nil {
+		t.Error(err)
+	}
+}

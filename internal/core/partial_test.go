@@ -1,0 +1,130 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fragdb/internal/netsim"
+)
+
+// partialCluster: 4 nodes; fragment FP replicated only at {0, 1}
+// (agent at node 0); fragment FQ fully replicated (agent at node 2).
+func partialCluster(t *testing.T) *Cluster {
+	t.Helper()
+	cl := NewCluster(Config{N: 4, Option: UnrestrictedReads, Seed: 31})
+	cl.Catalog().AddFragment("FP", "p")
+	cl.Catalog().AddFragment("FQ", "q")
+	cl.Tokens().Assign("FP", "node:0", 0)
+	cl.Tokens().Assign("FQ", "node:2", 2)
+	cl.SetReplicas("FP", 0, 1)
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cl.Load("p", int64(0))
+	cl.Load("q", int64(0))
+	return cl
+}
+
+func TestPartialReplicationInstallsOnlyAtReplicas(t *testing.T) {
+	cl := partialCluster(t)
+	defer cl.Shutdown()
+	submitSync(cl, 0, TxnSpec{
+		Agent: "node:0", Fragment: "FP",
+		Program: func(tx *Tx) error { return tx.Write("p", int64(9)) },
+	})
+	if !cl.Settle(20 * time.Second) {
+		t.Fatal("did not settle")
+	}
+	if v, _ := cl.Node(1).Store().Get("p"); v != int64(9) {
+		t.Errorf("replica node 1: p = %v", v)
+	}
+	for _, i := range []netsim.NodeID{2, 3} {
+		if _, ok := cl.Node(i).Store().Get("p"); ok {
+			t.Errorf("non-replica node %v installed p", i)
+		}
+	}
+	if err := cl.CheckMutualConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartialReplicationRemoteRead(t *testing.T) {
+	cl := partialCluster(t)
+	defer cl.Shutdown()
+	submitSync(cl, 0, TxnSpec{
+		Agent: "node:0", Fragment: "FP",
+		Program: func(tx *Tx) error { return tx.Write("p", int64(5)) },
+	})
+	cl.Settle(20 * time.Second)
+	// A transaction at non-replica node 3 reads p: routed to the
+	// agent's home, returning the authoritative value.
+	var got int64
+	res := submitSync(cl, 3, TxnSpec{
+		Agent: "user:r",
+		Program: func(tx *Tx) error {
+			v, err := tx.ReadInt("p")
+			got = v
+			return err
+		},
+	})
+	cl.Settle(20 * time.Second)
+	if !res.Committed || got != 5 {
+		t.Fatalf("res=%+v got=%d", res, got)
+	}
+}
+
+func TestPartialReplicationRemoteReadBlocksAcrossPartition(t *testing.T) {
+	cl := partialCluster(t)
+	defer cl.Shutdown()
+	// Non-replica node 3 is cut off from FP's replicas {0,1}: the data
+	// is genuinely unavailable to it.
+	cl.Net().Partition([]netsim.NodeID{0, 1}, []netsim.NodeID{2, 3})
+	var res TxnResult
+	cl.Node(3).Submit(TxnSpec{
+		Agent: "user:r", Timeout: 300 * time.Millisecond,
+		Program: func(tx *Tx) error {
+			_, err := tx.Read("p")
+			return err
+		},
+	}, func(r TxnResult) { res = r })
+	cl.RunFor(2 * time.Second)
+	if res.Committed || !errors.Is(res.Err, ErrTimeout) {
+		t.Errorf("res = %+v, want timeout (data unavailable)", res)
+	}
+	// Reading the fully replicated FQ at node 3 still works.
+	var q int64
+	res2 := submitSync(cl, 3, TxnSpec{
+		Agent: "user:r",
+		Program: func(tx *Tx) error {
+			v, err := tx.ReadInt("q")
+			q = v
+			return err
+		},
+	})
+	cl.RunFor(2 * time.Second)
+	if !res2.Committed || q != 0 {
+		t.Errorf("res2=%+v q=%d", res2, q)
+	}
+}
+
+func TestPartialReplicationAgentHomeMustBeReplica(t *testing.T) {
+	cl := NewCluster(Config{N: 2, Option: UnrestrictedReads, Seed: 1})
+	cl.Catalog().AddFragment("F", "x")
+	cl.Tokens().Assign("F", "node:0", 0)
+	cl.SetReplicas("F", 1) // home node 0 not a replica
+	if err := cl.Start(); err == nil {
+		t.Fatal("Start accepted an agent home outside the replica set")
+	}
+}
+
+func TestPartialReplicationLoadSkipsNonReplicas(t *testing.T) {
+	cl := partialCluster(t)
+	defer cl.Shutdown()
+	if _, ok := cl.Node(3).Store().Get("p"); ok {
+		t.Error("Load populated a non-replica")
+	}
+	if v, _ := cl.Node(3).Store().Get("q"); v != int64(0) {
+		t.Error("fully replicated fragment not loaded at node 3")
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fragdb/internal/fragments"
+	"fragdb/internal/history"
+	"fragdb/internal/lock"
+	"fragdb/internal/netsim"
+	"fragdb/internal/txn"
+)
+
+// This file implements the Section 4.1 remote read-lock protocol.
+//
+// Under the ReadLocks option, a transaction reading a data object
+// outside the fragment it updates must lock the object at the home node
+// of the agent controlling that fragment — "it is clearly sufficient to
+// acquire the lock ... from the home node of the agent in charge of the
+// fragment containing that object, for that is the only node at which
+// the object can be updated". The grant carries the authoritative
+// current value, so the reader observes the primary copy rather than a
+// possibly stale replica.
+//
+// Locks held by remote readers are leased: if the requester is
+// partitioned away before releasing (its release message is lost), the
+// serving node reclaims the lock after Config.RemoteLockLease.
+
+// serveLockRequest handles a remote shared-lock request at the agent's
+// home node.
+func (n *Node) serveLockRequest(m lockReqMsg) {
+	granted, err := n.locks.Acquire(m.Txn, m.Object, lock.Shared)
+	if err != nil {
+		n.cl.net.Send(n.id, m.From, lockDenyMsg{Txn: m.Txn, Object: m.Object})
+		return
+	}
+	if granted {
+		n.grantRemote(m.Txn, m.From, m.Object)
+		return
+	}
+	n.remoteQueued[m.Txn] = remoteQueue{from: m.From, obj: m.Object}
+}
+
+// grantRemote replies to a remote lock request with the current value,
+// registering the lease.
+func (n *Node) grantRemote(id txn.ID, from netsim.NodeID, o fragments.ObjectID) {
+	ver, known := n.store.GetVersion(o)
+	if rh, ok := n.remoteHeld[id]; ok {
+		// Additional object for an already-known remote holder: refresh
+		// the lease.
+		n.cl.sched.Cancel(rh.leaseEv)
+	}
+	rh := &remoteHolder{from: from}
+	rh.leaseEv = n.cl.sched.After(n.cl.cfg.RemoteLockLease, func() { n.expireRemote(id) })
+	n.remoteHeld[id] = rh
+	msg := lockGrantMsg{Txn: id, Object: o, Known: known, Version: ver, From: n.id}
+	if known {
+		msg.Value = ver.Value
+	}
+	n.cl.net.Send(n.id, from, msg)
+}
+
+// expireRemote reclaims locks leaked by an unreachable remote reader.
+func (n *Node) expireRemote(id txn.ID) {
+	if _, ok := n.remoteHeld[id]; !ok {
+		return
+	}
+	delete(n.remoteHeld, id)
+	n.onGrants(n.locks.Release(id))
+}
+
+// handleLockGrant resumes the local transaction waiting on the remote
+// read.
+func (n *Node) handleLockGrant(m lockGrantMsg) {
+	t, ok := n.active[m.Txn]
+	if !ok || t.finalizedFlag {
+		// We aborted while the grant was in flight: release it.
+		n.cl.net.Send(n.id, m.From, lockReleaseMsg{Txn: m.Txn})
+		return
+	}
+	if t.pendingRemote == nil || t.pendingRemote.obj != m.Object {
+		return // stale or duplicate grant
+	}
+	t.pendingRemote = nil
+	t.remoteLocked[m.From] = true
+	obs := history.ReadObs{Object: m.Object}
+	if m.Known {
+		obs.FromTxn = m.Version.Txn
+		obs.Pos = m.Version.Pos
+	}
+	t.reads = append(t.reads, obs)
+	t.respCh <- response{val: m.Value, known: m.Known}
+	n.serve(t)
+}
+
+// handleLockDeny aborts the local transaction whose remote request was
+// refused by the serving node's deadlock detection.
+func (n *Node) handleLockDeny(m lockDenyMsg) {
+	t, ok := n.active[m.Txn]
+	if !ok || t.finalizedFlag || t.pendingRemote == nil || t.pendingRemote.obj != m.Object {
+		return
+	}
+	n.cl.stats.Deadlocks.Add(1)
+	t.pendingRemote = nil
+	t.poisoned = ErrRemoteDenied
+	t.respCh <- response{err: ErrRemoteDenied}
+	n.serve(t)
+}
+
+// handleLockRelease frees every lock the remote transaction holds here.
+func (n *Node) handleLockRelease(m lockReleaseMsg) {
+	if rh, ok := n.remoteHeld[m.Txn]; ok {
+		n.cl.sched.Cancel(rh.leaseEv)
+		delete(n.remoteHeld, m.Txn)
+	}
+	delete(n.remoteQueued, m.Txn)
+	n.onGrants(n.locks.Release(m.Txn))
+}

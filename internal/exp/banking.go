@@ -1,0 +1,137 @@
+package exp
+
+import (
+	"time"
+
+	"fragdb/internal/baselines"
+	"fragdb/internal/core"
+	"fragdb/internal/netsim"
+	"fragdb/internal/simtime"
+	"fragdb/internal/workload"
+)
+
+// This file holds the shared banking scenario drivers used by E1, E2,
+// E3, and E10: the Section 1 setup — account 00001 with $300, two
+// geographically separated customers, a severed link — executed
+// against the three systems (mutual exclusion, log transformation,
+// fragments and agents).
+
+// bankOutcome summarizes one scenario run.
+type bankOutcome struct {
+	system       string
+	served       int   // withdrawals granted
+	denied       int   // withdrawals refused or timed out
+	finalBalance int64 // after full reconvergence
+	overdraft    bool  // balance went negative at any point
+	fines        int   // corrective actions assessed
+	dupFines     int   // duplicate corrective actions (decentralized chaos)
+	consistent   bool  // replicas converged
+}
+
+// scenarioMutex runs the two-withdrawal scenario under mutual
+// exclusion: node 0 is the primary; node 1 is partitioned away.
+func scenarioMutex(seed int64, amount int64) bankOutcome {
+	sched := simtime.NewScheduler(seed)
+	net := netsim.New(sched, 2, netsim.WithLatency(netsim.FixedLatency(10*time.Millisecond)))
+	m := baselines.NewMutex(sched, net, 0, 500*time.Millisecond)
+	m.Load("00001", 300)
+	net.Partition([]netsim.NodeID{0}, []netsim.NodeID{1})
+	out := bankOutcome{system: m.Name(), consistent: true}
+	count := func(o baselines.Outcome) {
+		if o.Granted {
+			out.served++
+		} else {
+			out.denied++
+		}
+	}
+	m.Execute(0, baselines.Withdraw, "00001", amount, count)
+	m.Execute(1, baselines.Withdraw, "00001", amount, count)
+	sched.RunFor(2 * time.Second)
+	net.Heal()
+	sched.RunFor(2 * time.Second)
+	out.finalBalance = m.Balance(0, "00001")
+	out.overdraft = out.finalBalance < 0
+	return out
+}
+
+// scenarioLogMerge runs the scenario under log transformation: both
+// nodes accept the withdrawal against their local views; logs merge
+// after the heal; every node assesses fines independently.
+func scenarioLogMerge(seed int64, amount int64) bankOutcome {
+	sched := simtime.NewScheduler(seed)
+	net := netsim.New(sched, 2, netsim.WithLatency(netsim.FixedLatency(10*time.Millisecond)))
+	lm := baselines.NewLogMerge(sched, net, 50*time.Millisecond, 50)
+	defer lm.Shutdown()
+	lm.Load("00001", 300)
+	net.Partition([]netsim.NodeID{0}, []netsim.NodeID{1})
+	out := bankOutcome{system: lm.Name()}
+	count := func(o baselines.Outcome) {
+		if o.Granted {
+			out.served++
+		} else {
+			out.denied++
+		}
+	}
+	lm.Execute(0, baselines.Withdraw, "00001", amount, count)
+	sched.RunFor(20 * time.Millisecond)
+	lm.Execute(1, baselines.Withdraw, "00001", amount, count)
+	sched.RunFor(2 * time.Second)
+	net.Heal()
+	sched.RunFor(10 * time.Second)
+	out.consistent = lm.Converged() && lm.Balance(0, "00001") == lm.Balance(1, "00001")
+	out.finalBalance = lm.Balance(0, "00001")
+	out.overdraft = lm.Overdrafts("00001") > 0
+	out.fines = int(lm.Stats().CorrectiveActions.Load())
+	out.dupFines = lm.DuplicateFines("00001")
+	return out
+}
+
+// scenarioFragDB runs the scenario on fragments and agents (Section 2
+// schema): the central office at node 0, the customer withdrawing once
+// at node 1 and once at node 2, partitioned from each other.
+func scenarioFragDB(seed int64, amount int64, readLocks bool) bankOutcome {
+	name := "fragments-agents(4.3)"
+	if readLocks {
+		name = "fragments-agents(4.1)"
+	}
+	b, err := workload.NewBank(workload.BankConfig{
+		Cluster:        core.Config{N: 3, Seed: seed},
+		CentralNode:    0,
+		Accounts:       []string{"00001"},
+		CustomerHome:   map[string]netsim.NodeID{"00001": 1},
+		InitialBalance: 300,
+		OverdraftFine:  50,
+		ReadLockOption: readLocks,
+	})
+	if err != nil {
+		panic(err)
+	}
+	cl := b.Cluster()
+	defer cl.Shutdown()
+	out := bankOutcome{system: name}
+	count := func(r core.TxnResult) {
+		if r.Committed {
+			out.served++
+		} else {
+			out.denied++
+		}
+	}
+	// Partition separates {0,1} from {2}: the central office stays with
+	// the first withdrawal's node; the second happens across the cut.
+	cl.Net().Partition([]netsim.NodeID{0, 1}, []netsim.NodeID{2})
+	b.Withdraw(1, "00001", amount, count)
+	cl.RunFor(300 * time.Millisecond)
+	b.MoveCustomer("00001", 2)
+	// Give the second withdrawal a bounded timeout so the 4.1 variant's
+	// blocked remote read registers as a denial, not a hang.
+	b.WithdrawWithTimeout(2, "00001", amount, 500*time.Millisecond, count)
+	cl.RunFor(2 * time.Second)
+	cl.Net().Heal()
+	cl.Settle(30 * time.Second)
+	out.finalBalance = b.Balance(0, "00001")
+	out.overdraft = out.finalBalance < 0 ||
+		len(b.Letters()) > 0
+	out.fines = int(cl.Stats().CorrectiveActions.Load())
+	out.consistent = cl.CheckMutualConsistency() == nil
+	return out
+}

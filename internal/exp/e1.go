@@ -1,0 +1,211 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"fragdb/internal/baselines"
+	"fragdb/internal/core"
+	"fragdb/internal/netsim"
+	"fragdb/internal/simtime"
+	"fragdb/internal/workload"
+)
+
+// RunE1 reproduces Figure 1.1, the correctness-availability spectrum,
+// as a measured table. One banking workload — a mix of deposits and
+// withdrawals at two customer locations, with a network partition
+// covering the middle of the run — executes against four systems
+// ordered left to right on the paper's spectrum:
+//
+//	mutual exclusion < fragments/agents(4.1) < fragments/agents(4.3) < free-for-all
+//
+// Availability (committed/offered) must increase along the spectrum
+// while the correctness guarantee weakens from global serializability
+// to mere eventual convergence. (Option 4.2 sits between 4.1 and 4.3;
+// it is exercised on its natural workload in E5.)
+func RunE1(seed int64) *Result {
+	r := &Result{
+		ID:    "E1",
+		Title: "Figure 1.1 — the correctness/availability spectrum",
+		Claim: "from left to right, availability increases while the correctness criteria become less strict",
+		Header: []string{"system", "guarantee", "offered", "committed", "availability",
+			"overdrafts", "fines", "dup-fines"},
+	}
+
+	// The common op schedule: (start offset, customer location 0 or 1,
+	// deposit?, amount). Location 0 stays connected to the primary /
+	// central office; location 1 is cut off for the middle of the run.
+	type op struct {
+		at      simtime.Duration
+		loc     int
+		deposit bool
+		amount  int64
+	}
+	var script []op
+	for i := 0; i < 10; i++ {
+		script = append(script, op{
+			at:      time.Duration(100+i*150) * time.Millisecond,
+			loc:     i % 2,
+			deposit: i%3 == 0,
+			amount:  int64(40 + 10*(i%4)),
+		})
+	}
+	const (
+		splitAt = 200 * time.Millisecond
+		healAt  = 1200 * time.Millisecond
+	)
+
+	type row struct {
+		name      string
+		guarantee string
+		offered   uint64
+		committed uint64
+		over      int
+		fines     int
+		dup       int
+	}
+	var rows []row
+
+	// --- mutual exclusion -------------------------------------------
+	{
+		sched := simtime.NewScheduler(seed)
+		net := netsim.New(sched, 2, netsim.WithLatency(netsim.FixedLatency(10*time.Millisecond)))
+		m := baselines.NewMutex(sched, net, 0, 400*time.Millisecond)
+		m.Load("A", 300)
+		sched.At(simtime.Time(splitAt), func() { net.Partition([]netsim.NodeID{0}, []netsim.NodeID{1}) })
+		sched.At(simtime.Time(healAt), func() { net.Heal() })
+		for _, o := range script {
+			o := o
+			kind := baselines.Withdraw
+			if o.deposit {
+				kind = baselines.Deposit
+			}
+			sched.At(simtime.Time(o.at), func() {
+				m.Execute(netsim.NodeID(o.loc), kind, "A", o.amount, nil)
+			})
+		}
+		sched.RunFor(5 * time.Second)
+		rows = append(rows, row{
+			name: m.Name(), guarantee: "global serializability",
+			offered: m.Stats().Offered.Load(), committed: m.Stats().Committed.Load(),
+			over: boolToInt(m.Balance(0, "A") < 0),
+		})
+	}
+
+	// --- fragments/agents, options 4.1 and 4.3 ------------------------
+	// Availability counts CUSTOMER operations only (the central
+	// office's internal processing transactions are system work, not
+	// offered load).
+	for _, readLocks := range []bool{true, false} {
+		b, err := workload.NewBank(workload.BankConfig{
+			Cluster:        core.Config{N: 3, Seed: seed},
+			CentralNode:    0,
+			Accounts:       []string{"A"},
+			CustomerHome:   map[string]netsim.NodeID{"A": 1},
+			InitialBalance: 300,
+			OverdraftFine:  50,
+			ReadLockOption: readLocks,
+		})
+		if err != nil {
+			panic(err)
+		}
+		cl := b.Cluster()
+		// Location 0 -> node 1 (same side as central office at node 0);
+		// location 1 -> node 2 (cut off during the partition). The
+		// customer hops between locations as in the Section 1 story.
+		locNode := map[int]netsim.NodeID{0: 1, 1: 2}
+		cl.Net().ScheduleSplit(simtime.Time(splitAt), []netsim.NodeID{0, 1}, []netsim.NodeID{2})
+		cl.Net().ScheduleHeal(simtime.Time(healAt))
+		var offered, committed uint64
+		count := func(r core.TxnResult) {
+			offered++
+			if r.Committed {
+				committed++
+			}
+		}
+		for _, o := range script {
+			o := o
+			cl.Sched().At(simtime.Time(o.at), func() {
+				node := locNode[o.loc]
+				b.MoveCustomer("A", node)
+				if o.deposit {
+					b.Deposit(node, "A", o.amount, count)
+				} else {
+					b.WithdrawWithTimeout(node, "A", o.amount, 400*time.Millisecond, count)
+				}
+			})
+		}
+		cl.RunFor(3 * time.Second)
+		cl.Settle(30 * time.Second)
+		guarantee := "fragmentwise serializability"
+		name := "fragments-agents(4.3)"
+		if readLocks {
+			guarantee = "global serializability"
+			name = "fragments-agents(4.1)"
+		}
+		rows = append(rows, row{
+			name: name, guarantee: guarantee,
+			offered:   offered,
+			committed: committed,
+			over:      len(b.Letters()),
+			fines:     int(cl.Stats().CorrectiveActions.Load()),
+		})
+		cl.Shutdown()
+	}
+
+	// --- free-for-all (log transformation) ----------------------------
+	{
+		sched := simtime.NewScheduler(seed)
+		net := netsim.New(sched, 2, netsim.WithLatency(netsim.FixedLatency(10*time.Millisecond)))
+		lm := baselines.NewLogMerge(sched, net, 50*time.Millisecond, 50)
+		lm.Load("A", 300)
+		sched.At(simtime.Time(splitAt), func() { net.Partition([]netsim.NodeID{0}, []netsim.NodeID{1}) })
+		sched.At(simtime.Time(healAt), func() { net.Heal() })
+		for _, o := range script {
+			o := o
+			kind := baselines.Withdraw
+			if o.deposit {
+				kind = baselines.Deposit
+			}
+			sched.At(simtime.Time(o.at), func() {
+				lm.Execute(netsim.NodeID(o.loc), kind, "A", o.amount, nil)
+			})
+		}
+		sched.RunFor(10 * time.Second)
+		rows = append(rows, row{
+			name: lm.Name(), guarantee: "eventual convergence",
+			offered: lm.Stats().Offered.Load(), committed: lm.Stats().Committed.Load(),
+			over:  lm.Overdrafts("A"),
+			fines: int(lm.Stats().CorrectiveActions.Load()),
+			dup:   lm.DuplicateFines("A"),
+		})
+		lm.Shutdown()
+	}
+
+	// The ordering check: availability non-decreasing along the spectrum.
+	prev := -1.0
+	monotone := true
+	for _, rw := range rows {
+		avail := float64(rw.committed) / float64(rw.offered)
+		if avail+1e-9 < prev {
+			monotone = false
+		}
+		prev = avail
+		r.AddRow(rw.name, rw.guarantee,
+			fmt.Sprint(rw.offered), fmt.Sprint(rw.committed),
+			pct(rw.committed, rw.offered),
+			fmt.Sprint(rw.over), fmt.Sprint(rw.fines), fmt.Sprint(rw.dup))
+	}
+	r.Pass = monotone &&
+		rows[0].committed < rows[len(rows)-1].committed
+	r.AddNote("option 4.2 (acyclic reads) sits between 4.1 and 4.3; E5 exercises it on its natural workload")
+	r.AddNote("the 4.3 system's fines are assessed once, centrally; the free-for-all's can duplicate (dup-fines)")
+	return r
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,145 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"fragdb/internal/baselines"
+	"fragdb/internal/core"
+	"fragdb/internal/netsim"
+	"fragdb/internal/simtime"
+	"fragdb/internal/workload"
+)
+
+// RunE10 measures the Section 1 overhead claim against the free-for-all
+// approach: "sites A and B had to exchange their transaction logs after
+// the partition was repaired. Each of them had to determine which of
+// the transactions from the received log had to be executed locally and
+// which of the transactions from the local log had to be backed out."
+//
+// We sweep the partition duration while both systems process the same
+// operation rate, and report the post-heal reconciliation work: for log
+// transformation, the log entries each side must ship and replay plus
+// the corrective actions; for fragments-and-agents, the quasi-
+// transactions to propagate (no replay decisions, no back-outs — the
+// stream is simply resumed) and the single centralized fine if any.
+func RunE10(seed int64) *Result {
+	r := &Result{
+		ID:    "E10",
+		Title: "Section 1 — reconciliation overhead vs. partition duration",
+		Claim: "free-for-all reconciliation work grows with partition length; fragments/agents resumes its stream with no back-outs and centralized corrective actions",
+		Header: []string{"partition", "ops", "logmerge entries", "logmerge fines(dup)",
+			"logmerge backouts", "fragdb quasis", "fragdb fines", "both consistent"},
+	}
+	durations := []time.Duration{500 * time.Millisecond, time.Second, 2 * time.Second, 4 * time.Second}
+	growingLM, growingFD := true, true
+	prevLM, prevFD := -1, -1
+	allConsistent := true
+	for _, dur := range durations {
+		ops := int(dur / (100 * time.Millisecond)) // one op per 100ms on each side
+
+		// --- log transformation ---------------------------------------
+		sched := simtime.NewScheduler(seed)
+		net := netsim.New(sched, 2, netsim.WithLatency(netsim.FixedLatency(10*time.Millisecond)))
+		lm := baselines.NewLogMerge(sched, net, 50*time.Millisecond, 50)
+		lm.Load("A", int64(ops*40)) // enough to allow most withdrawals
+		net.Partition([]netsim.NodeID{0}, []netsim.NodeID{1})
+		for i := 0; i < ops; i++ {
+			at := simtime.Time(time.Duration(i*100) * time.Millisecond)
+			sched.At(at, func() { lm.Execute(0, baselines.Deposit, "A", 10, nil) })
+			sched.At(at+simtime.Time(50*time.Millisecond), func() {
+				lm.Execute(1, baselines.Withdraw, "A", 30, nil)
+			})
+		}
+		sched.RunFor(simtime.Duration(dur))
+		// Entries created on each side during the partition must cross
+		// after the heal: that is the log-exchange volume.
+		exchange := (lm.LogEntries(0) - lm.LogEntries(1)) // asymmetry before heal
+		_ = exchange
+		before0, before1 := lm.LogEntries(0), lm.LogEntries(1)
+		net.Heal()
+		sched.RunFor(20 * time.Second)
+		after := lm.LogEntries(0)
+		shipped := (after - before0) + (after - before1) // entries each side had to receive
+		lmFines := int(lm.Stats().CorrectiveActions.Load())
+		lmDup := lm.DuplicateFines("A")
+		if !lm.Converged() {
+			allConsistent = false
+		}
+		lm.Shutdown()
+
+		// The same log-transformation run under the back-out repair
+		// policy, measuring the paper's "which of the transactions from
+		// the local log had to be backed out".
+		sched2 := simtime.NewScheduler(seed)
+		net2 := netsim.New(sched2, 2, netsim.WithLatency(netsim.FixedLatency(10*time.Millisecond)))
+		lm2 := baselines.NewLogMerge(sched2, net2, 50*time.Millisecond, 50)
+		lm2.Policy = baselines.BackoutPolicy
+		lm2.Load("A", int64(ops*20)) // tighter funds: some withdrawals must back out
+		net2.Partition([]netsim.NodeID{0}, []netsim.NodeID{1})
+		for i := 0; i < ops; i++ {
+			at := simtime.Time(time.Duration(i*100) * time.Millisecond)
+			sched2.At(at, func() { lm2.Execute(0, baselines.Withdraw, "A", 30, nil) })
+			sched2.At(at+simtime.Time(50*time.Millisecond), func() {
+				lm2.Execute(1, baselines.Withdraw, "A", 30, nil)
+			})
+		}
+		sched2.RunFor(simtime.Duration(dur))
+		net2.Heal()
+		sched2.RunFor(20 * time.Second)
+		backouts := lm2.Backouts
+		if !lm2.Converged() {
+			allConsistent = false
+		}
+		lm2.Shutdown()
+		if shipped < prevLM {
+			growingLM = false
+		}
+		prevLM = shipped
+
+		// --- fragments and agents --------------------------------------
+		b, err := workload.NewBank(workload.BankConfig{
+			Cluster:        core.Config{N: 3, Seed: seed},
+			CentralNode:    0,
+			Accounts:       []string{"A"},
+			CustomerHome:   map[string]netsim.NodeID{"A": 1},
+			InitialBalance: int64(ops * 40),
+			OverdraftFine:  50,
+		})
+		if err != nil {
+			panic(err)
+		}
+		cl := b.Cluster()
+		cl.Net().Partition([]netsim.NodeID{0, 1}, []netsim.NodeID{2})
+		b.MoveCustomer("A", 2) // the withdrawing customer is cut off
+		for i := 0; i < ops; i++ {
+			at := simtime.Time(time.Duration(i*100) * time.Millisecond)
+			cl.Sched().At(at, func() { b.Withdraw(2, "A", 30, nil) })
+		}
+		cl.RunFor(simtime.Duration(dur))
+		quasisBefore := cl.Stats().QuasiApplied.Load()
+		cl.Net().Heal()
+		cl.Settle(120 * time.Second)
+		quasisAfterHeal := cl.Stats().QuasiApplied.Load() - quasisBefore
+		fdFines := int(cl.Stats().CorrectiveActions.Load())
+		if cl.CheckMutualConsistency() != nil {
+			allConsistent = false
+		}
+		cl.Shutdown()
+		if int(quasisAfterHeal) < prevFD {
+			growingFD = false
+		}
+		prevFD = int(quasisAfterHeal)
+
+		r.AddRow(dur.String(), fmt.Sprintf("%dx2", ops),
+			fmt.Sprint(shipped), fmt.Sprintf("%d(%d)", lmFines, lmDup),
+			fmt.Sprint(backouts),
+			fmt.Sprint(quasisAfterHeal), fmt.Sprint(fdFines),
+			yesNo(allConsistent))
+	}
+	r.Pass = growingLM && growingFD && allConsistent
+	r.AddNote("both systems' post-heal work grows with partition length, but fragments/agents ships an ordered stream with zero replay decisions and zero back-outs")
+	r.AddNote("logmerge fines can duplicate (parenthesized); fragdb fines are centralized")
+	r.AddNote("the backout column runs the same free-for-all under the back-out repair: merged-log replay voids overdrawing withdrawals — fragdb never backs anything out")
+	return r
+}

@@ -1,0 +1,105 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"fragdb/internal/core"
+	"fragdb/internal/history"
+	"fragdb/internal/netsim"
+	"fragdb/internal/simtime"
+	"fragdb/internal/workload"
+)
+
+// RunE5 reproduces Figure 4.2.1 (the wholesale-company database) and
+// the Section 4.2 theorem's payoff: with an elementarily acyclic
+// read-access graph — the star C -> W1..Wk — the warehouse workload
+// runs with NO read locks yet remains globally serializable, and the
+// warehouses keep full availability during a partition.
+//
+// For contrast, the same workload runs under the Section 4.1 option
+// (remote read locks): sales stay available (they touch only the local
+// fragment) but the central office's planning scans block whenever a
+// warehouse is unreachable.
+func RunE5(seed int64) *Result {
+	r := &Result{
+		ID:    "E5",
+		Title: "Figure 4.2.1 — warehouse star: acyclic reads vs. read locks",
+		Claim: "acyclic read-access graph gives global serializability with no read locks and full availability during partitions",
+		Header: []string{"option", "sales ok", "plans ok", "availability",
+			"globally serializable", "consistent"},
+	}
+	type outcome struct {
+		name        string
+		salesOK     uint64
+		plansOK     uint64
+		offered     uint64
+		committed   uint64
+		serializa   bool
+		consistent  bool
+		ragAcyclic  bool
+		messagesOut uint64
+	}
+	run := func(opt core.ControlOption) outcome {
+		w, err := workload.NewWarehouseWithOption(workload.WarehouseConfig{
+			Cluster:      core.Config{N: 4, Seed: seed},
+			Warehouses:   3,
+			Products:     []string{"widgets"},
+			InitialStock: 500,
+		}, opt)
+		if err != nil {
+			panic(err)
+		}
+		cl := w.Cluster()
+		var salesOK, plansOK uint64
+		for round := 0; round < 10; round++ {
+			at := simtime.Time(time.Duration(round*100) * time.Millisecond)
+			cl.Sched().At(at, func() {
+				for i := 1; i <= 3; i++ {
+					w.Sell(i, "widgets", 2, func(res core.TxnResult) {
+						if res.Committed {
+							salesOK++
+						}
+					})
+				}
+			})
+			cl.Sched().At(at+simtime.Time(50*time.Millisecond), func() {
+				w.Plan(2000, func(res core.TxnResult) {
+					if res.Committed {
+						plansOK++
+					}
+				})
+			})
+		}
+		cl.Net().ScheduleSplit(simtime.Time(150*time.Millisecond),
+			[]netsim.NodeID{0, 1}, []netsim.NodeID{2, 3})
+		cl.Net().ScheduleHeal(simtime.Time(850 * time.Millisecond))
+		cl.RunFor(1200 * time.Millisecond)
+		cl.Settle(60 * time.Second)
+		out := outcome{
+			salesOK: salesOK, plansOK: plansOK,
+			offered:    cl.Stats().Offered.Load(),
+			committed:  cl.Stats().Committed.Load(),
+			serializa:  cl.Recorder().CheckGlobal(history.Options{}) == nil,
+			consistent: cl.CheckMutualConsistency() == nil,
+			ragAcyclic: cl.Recorder().ObservedRAG().ElementarilyAcyclic(),
+		}
+		cl.Shutdown()
+		return out
+	}
+
+	acy := run(core.AcyclicReads)
+	rl := run(core.ReadLocks)
+	r.AddRow("acyclic-reads (4.2)", fmt.Sprintf("%d/30", acy.salesOK),
+		fmt.Sprintf("%d/10", acy.plansOK), pct(acy.committed, acy.offered),
+		yesNo(acy.serializa), yesNo(acy.consistent))
+	r.AddRow("read-locks (4.1)", fmt.Sprintf("%d/30", rl.salesOK),
+		fmt.Sprintf("%d/10", rl.plansOK), pct(rl.committed, rl.offered),
+		yesNo(rl.serializa), yesNo(rl.consistent))
+	r.Pass = acy.salesOK == 30 && acy.plansOK == 10 &&
+		acy.serializa && acy.consistent && acy.ragAcyclic &&
+		rl.serializa && rl.plansOK < 10 // read locks cost plan availability
+	r.AddNote("under 4.2, every transaction commits (no synchronization for reads) and the history is still globally serializable — the Section 4.2 theorem, live")
+	r.AddNote("under 4.1, the central office's scans block on unreachable warehouses and time out")
+	return r
+}

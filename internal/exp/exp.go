@@ -1,0 +1,131 @@
+// Package exp is the experiment harness: one runner per experiment in
+// DESIGN.md's index (E1-E10), each reproducing a figure or scenario of
+// the paper as a measurable result. Runners return structured Results
+// that cmd/haexp prints and bench_test.go drives.
+//
+// The paper (ICDE 1987) reports no measured numbers — its evaluation is
+// a set of scenarios and qualitative claims. Each experiment therefore
+// states the paper's claim, produces the corresponding measurement from
+// the simulation, and checks that the *shape* matches (who wins, what
+// is violated, what converges). EXPERIMENTS.md records the outcomes.
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result is one experiment's outcome.
+type Result struct {
+	// ID is the experiment identifier (E1..E10).
+	ID string
+	// Title describes the paper artifact reproduced.
+	Title string
+	// Claim is the paper's qualitative claim being checked.
+	Claim string
+	// Header names the table columns.
+	Header []string
+	// Rows are the measured table rows.
+	Rows [][]string
+	// Notes carry measurement caveats and observations.
+	Notes []string
+	// Pass reports whether the measured shape matches the claim.
+	Pass bool
+}
+
+// AddRow appends a table row.
+func (r *Result) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// AddNote appends a note.
+func (r *Result) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Table renders the result as a fixed-width text table.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "claim: %s\n", r.Claim)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	verdict := "MATCHES PAPER"
+	if !r.Pass {
+		verdict = "DOES NOT MATCH"
+	}
+	fmt.Fprintf(&b, "shape: %s\n", verdict)
+	return b.String()
+}
+
+// Runner is an experiment entry point; seed makes runs reproducible.
+type Runner func(seed int64) *Result
+
+// All returns the experiment registry in order.
+func All() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"E1", RunE1},
+		{"E2", RunE2},
+		{"E3", RunE3},
+		{"E4", RunE4},
+		{"E5", RunE5},
+		{"E6", RunE6},
+		{"E7", RunE7},
+		{"E8", RunE8},
+		{"E9", RunE9},
+		{"E10", RunE10},
+		{"A1", RunA1},
+	}
+}
+
+// yesNo renders a boolean as a table cell.
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// pct renders a ratio as a percentage cell.
+func pct(num, den uint64) string {
+	if den == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(num)/float64(den))
+}

@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// Each experiment must run, produce a non-empty table, and match the
+// paper's claimed shape (Result.Pass). These tests are the repository's
+// reproduction gate: a regression that changes who wins or what is
+// violated fails here.
+
+func checkResult(t *testing.T, r *Result) {
+	t.Helper()
+	if len(r.Rows) == 0 {
+		t.Fatalf("%s produced no rows", r.ID)
+	}
+	if !r.Pass {
+		t.Errorf("%s does not match the paper's shape:\n%s", r.ID, r.Table())
+	}
+	tbl := r.Table()
+	if !strings.Contains(tbl, r.ID) || !strings.Contains(tbl, "shape:") {
+		t.Errorf("%s table rendering incomplete:\n%s", r.ID, tbl)
+	}
+}
+
+func TestE1Spectrum(t *testing.T)  { checkResult(t, RunE1(42)) }
+func TestE2Scenario1(t *testing.T) { checkResult(t, RunE2(42)) }
+func TestE3Scenario2(t *testing.T) { checkResult(t, RunE3(42)) }
+func TestE4LocalView(t *testing.T) { checkResult(t, RunE4(42)) }
+func TestE5Warehouse(t *testing.T) { checkResult(t, RunE5(42)) }
+func TestE6CyclicGSG(t *testing.T) { checkResult(t, RunE6(42)) }
+func TestE7Airline(t *testing.T)   { checkResult(t, RunE7(42)) }
+func TestE8Movement(t *testing.T)  { checkResult(t, RunE8(42)) }
+func TestE9Theorem(t *testing.T)   { checkResult(t, RunE9(42)) }
+func TestE10Overhead(t *testing.T) { checkResult(t, RunE10(42)) }
+func TestA1Severity(t *testing.T)  { checkResult(t, RunA1(42)) }
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "A1"}
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments", len(all))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Errorf("registry[%d] = %s, want %s", i, e.ID, want[i])
+		}
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	a := RunE2(7)
+	b := RunE2(7)
+	if a.Table() != b.Table() {
+		t.Error("E2 results differ across identical seeds")
+	}
+}

@@ -1,0 +1,189 @@
+// Package fragments implements the data-control model of the paper's
+// Section 3.1: the database is logically divided into k non-overlapping
+// fragments; every fragment has exactly one token; the current owner of
+// the token — a user or a node — is the fragment's agent, the only
+// party that may initiate update transactions on the fragment.
+//
+// The package also implements the read-access graph of Section 4.2 and
+// its elementary-acyclicity test, the precondition of the paper's
+// theorem ("the transaction execution schedule is globally serializable
+// if the corresponding read-access graph is elementarily acyclic").
+package fragments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fragdb/internal/netsim"
+)
+
+// ObjectID names a data object, e.g. "bal:00001".
+type ObjectID string
+
+// FragmentID names a fragment, e.g. "BALANCES" or "ACTIVITY(00001)".
+type FragmentID string
+
+// AgentID identifies an agent — the owner of a fragment's token. Agents
+// model both users (bank customers, warehouse clerks) and nodes (the
+// central office computer), per Section 3.1.
+type AgentID string
+
+// NodeAgent returns the AgentID conventionally used for the node itself
+// acting as an agent.
+func NodeAgent(n netsim.NodeID) AgentID {
+	return AgentID(fmt.Sprintf("node:%d", int(n)))
+}
+
+// Fragment is one of the k non-overlapping subsets of the database.
+type Fragment struct {
+	ID      FragmentID
+	objects map[ObjectID]struct{}
+}
+
+// Objects returns the fragment's objects in sorted order.
+func (f *Fragment) Objects() []ObjectID {
+	out := make([]ObjectID, 0, len(f.objects))
+	for o := range f.objects {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Contains reports whether the object belongs to the fragment.
+func (f *Fragment) Contains(o ObjectID) bool {
+	_, ok := f.objects[o]
+	return ok
+}
+
+// Size reports the number of objects in the fragment.
+func (f *Fragment) Size() int { return len(f.objects) }
+
+// Catalog maps objects to fragments. Fragments are non-overlapping: an
+// object belongs to exactly one fragment. A catalog is shared schema
+// metadata: one instance serves every node of a cluster, so it is safe
+// for concurrent use.
+type Catalog struct {
+	mu    sync.RWMutex
+	frags map[FragmentID]*Fragment
+	owner map[ObjectID]FragmentID
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		frags: make(map[FragmentID]*Fragment),
+		owner: make(map[ObjectID]FragmentID),
+	}
+}
+
+// AddFragment declares a fragment with the given initial objects. It
+// returns an error if the fragment already exists or any object is
+// already claimed by another fragment (fragments must not overlap).
+func (c *Catalog) AddFragment(id FragmentID, objects ...ObjectID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.frags[id]; ok {
+		return fmt.Errorf("fragments: fragment %q already declared", id)
+	}
+	f := &Fragment{ID: id, objects: make(map[ObjectID]struct{}, len(objects))}
+	c.frags[id] = f
+	for _, o := range objects {
+		if err := c.addObjectLocked(id, o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddObject adds an object to an existing fragment.
+func (c *Catalog) AddObject(frag FragmentID, o ObjectID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addObjectLocked(frag, o)
+}
+
+func (c *Catalog) addObjectLocked(frag FragmentID, o ObjectID) error {
+	f, ok := c.frags[frag]
+	if !ok {
+		return fmt.Errorf("fragments: unknown fragment %q", frag)
+	}
+	if prev, claimed := c.owner[o]; claimed {
+		return fmt.Errorf("fragments: object %q already in fragment %q", o, prev)
+	}
+	f.objects[o] = struct{}{}
+	c.owner[o] = frag
+	return nil
+}
+
+// EnsureObject registers o in frag if it is not yet cataloged,
+// supporting dynamic creation of data items (the paper's Section 4.4.2A
+// mentions transactions "creating new data items"). It returns an error
+// only if o already belongs to a different fragment.
+func (c *Catalog) EnsureObject(frag FragmentID, o ObjectID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if owner, ok := c.owner[o]; ok {
+		if owner != frag {
+			return fmt.Errorf("fragments: object %q is in fragment %q, not %q", o, owner, frag)
+		}
+		return nil
+	}
+	return c.addObjectLocked(frag, o)
+}
+
+// FragmentOf returns the fragment containing object o.
+func (c *Catalog) FragmentOf(o ObjectID) (FragmentID, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	f, ok := c.owner[o]
+	return f, ok
+}
+
+// Fragment returns the fragment with the given id.
+func (c *Catalog) Fragment(id FragmentID) (*Fragment, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	f, ok := c.frags[id]
+	return f, ok
+}
+
+// Fragments returns all fragment ids in sorted order.
+func (c *Catalog) Fragments() []FragmentID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]FragmentID, 0, len(c.frags))
+	for id := range c.frags {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumObjects reports the total number of objects across all fragments.
+func (c *Catalog) NumObjects() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.owner)
+}
+
+// CheckInitiation enforces the paper's initiation requirement: "an
+// update transaction T can be initiated by an agent A(F) if and only if
+// all data objects modified by T are contained in the fragment F". It
+// returns nil if every written object is in frag.
+func (c *Catalog) CheckInitiation(frag FragmentID, writes []ObjectID) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, o := range writes {
+		owner, ok := c.owner[o]
+		if !ok {
+			return fmt.Errorf("fragments: write to unknown object %q", o)
+		}
+		if owner != frag {
+			return fmt.Errorf("fragments: initiation requirement violated: object %q is in fragment %q, not %q",
+				o, owner, frag)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package fragments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ReadAccessGraph is the directed graph of Section 4.2: vertices are
+// fragments, and there is an edge (Fi, Fj) iff some transaction
+// initiated by A(Fi) reads a data object contained in Fj (i != j).
+type ReadAccessGraph struct {
+	vertices map[FragmentID]struct{}
+	edges    map[FragmentID]map[FragmentID]struct{}
+}
+
+// NewReadAccessGraph returns a graph over the catalog's fragments (all
+// of them become vertices; edges are added as transaction classes are
+// declared).
+func NewReadAccessGraph(c *Catalog) *ReadAccessGraph {
+	g := &ReadAccessGraph{
+		vertices: make(map[FragmentID]struct{}),
+		edges:    make(map[FragmentID]map[FragmentID]struct{}),
+	}
+	for _, f := range c.Fragments() {
+		g.vertices[f] = struct{}{}
+	}
+	return g
+}
+
+// AddVertex declares a fragment vertex (useful when building graphs
+// without a catalog, e.g. in tests).
+func (g *ReadAccessGraph) AddVertex(f FragmentID) {
+	g.vertices[f] = struct{}{}
+}
+
+// AddEdge declares that transactions initiated by A(from) read data in
+// to. Self-edges (a transaction reading its own fragment) are ignored,
+// matching the i != j condition in the paper's definition.
+func (g *ReadAccessGraph) AddEdge(from, to FragmentID) {
+	if from == to {
+		return
+	}
+	g.vertices[from] = struct{}{}
+	g.vertices[to] = struct{}{}
+	m, ok := g.edges[from]
+	if !ok {
+		m = make(map[FragmentID]struct{})
+		g.edges[from] = m
+	}
+	m[to] = struct{}{}
+}
+
+// HasEdge reports whether edge (from, to) is present.
+func (g *ReadAccessGraph) HasEdge(from, to FragmentID) bool {
+	_, ok := g.edges[from][to]
+	return ok
+}
+
+// Vertices returns the vertex set in sorted order.
+func (g *ReadAccessGraph) Vertices() []FragmentID {
+	out := make([]FragmentID, 0, len(g.vertices))
+	for v := range g.vertices {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Edges returns all directed edges, sorted lexicographically.
+func (g *ReadAccessGraph) Edges() [][2]FragmentID {
+	var out [][2]FragmentID
+	for from, tos := range g.edges {
+		for to := range tos {
+			out = append(out, [2]FragmentID{from, to})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// ElementarilyAcyclic reports whether the graph is elementarily acyclic
+// per the paper's definition: the undirected graph with the same nodes
+// and edges is acyclic (i.e., a forest). Note this is strictly stronger
+// than directed acyclicity — Figure 4.3.1's graph is acyclic but NOT
+// elementarily acyclic.
+func (g *ReadAccessGraph) ElementarilyAcyclic() bool {
+	// Build the undirected adjacency; a pair of antiparallel directed
+	// edges collapses to a single undirected edge... but two distinct
+	// directed edges (Fi,Fj) and (Fj,Fi) form an undirected multigraph
+	// cycle of length two? The paper's G_u "has the same sets of nodes
+	// and edges"; with set semantics the pair collapses, so we collapse
+	// too, and detect the antiparallel pair separately as a cycle: if
+	// both (a,b) and (b,a) exist, transactions of each agent read the
+	// other's fragment, which is exactly the two-fragment cycle the
+	// theorem excludes.
+	type edge struct{ a, b FragmentID }
+	undirected := make(map[edge]int)
+	for from, tos := range g.edges {
+		for to := range tos {
+			a, b := from, to
+			if b < a {
+				a, b = b, a
+			}
+			undirected[edge{a, b}]++
+		}
+	}
+	for _, cnt := range undirected {
+		if cnt > 1 { // antiparallel pair: a 2-cycle in G_u
+			return false
+		}
+	}
+	// Union-find cycle detection over the simple undirected edges.
+	parent := make(map[FragmentID]FragmentID, len(g.vertices))
+	var find func(FragmentID) FragmentID
+	find = func(x FragmentID) FragmentID {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	for e := range undirected {
+		ra, rb := find(e.a), find(e.b)
+		if ra == rb {
+			return false
+		}
+		parent[ra] = rb
+	}
+	return true
+}
+
+// Acyclic reports whether the directed graph has no directed cycle.
+// This is the weaker property that does NOT suffice for global
+// serializability (Section 4.3 demonstrates a directed-acyclic but
+// elementarily cyclic graph producing a non-serializable schedule).
+func (g *ReadAccessGraph) Acyclic() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[FragmentID]int, len(g.vertices))
+	var visit func(FragmentID) bool
+	visit = func(v FragmentID) bool {
+		color[v] = gray
+		for next := range g.edges[v] {
+			switch color[next] {
+			case gray:
+				return false
+			case white:
+				if !visit(next) {
+					return false
+				}
+			}
+		}
+		color[v] = black
+		return true
+	}
+	for v := range g.vertices {
+		if color[v] == white && !visit(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate returns an error describing why the graph fails elementary
+// acyclicity, or nil. Used by the control option of Section 4.2 to
+// reject workloads whose declared read pattern would forfeit the
+// serializability guarantee.
+func (g *ReadAccessGraph) Validate() error {
+	if g.ElementarilyAcyclic() {
+		return nil
+	}
+	if g.Acyclic() {
+		return fmt.Errorf("fragments: read-access graph is acyclic but not elementarily acyclic (undirected cycle exists); global serializability is not guaranteed")
+	}
+	return fmt.Errorf("fragments: read-access graph has a directed cycle; global serializability is not guaranteed")
+}
+
+// Clone returns a deep copy of the graph.
+func (g *ReadAccessGraph) Clone() *ReadAccessGraph {
+	out := &ReadAccessGraph{
+		vertices: make(map[FragmentID]struct{}, len(g.vertices)),
+		edges:    make(map[FragmentID]map[FragmentID]struct{}, len(g.edges)),
+	}
+	for v := range g.vertices {
+		out.vertices[v] = struct{}{}
+	}
+	for from, tos := range g.edges {
+		m := make(map[FragmentID]struct{}, len(tos))
+		for to := range tos {
+			m[to] = struct{}{}
+		}
+		out.edges[from] = m
+	}
+	return out
+}

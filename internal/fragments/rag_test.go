@@ -1,0 +1,200 @@
+package fragments
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func graphFrom(edges [][2]FragmentID) *ReadAccessGraph {
+	g := NewReadAccessGraph(NewCatalog())
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+func TestWarehouseGraphElementarilyAcyclic(t *testing.T) {
+	// Figure 4.2.1: central fragment C reads W1..Wk (a star).
+	g := graphFrom([][2]FragmentID{{"C", "W1"}, {"C", "W2"}, {"C", "W3"}})
+	if !g.ElementarilyAcyclic() {
+		t.Error("warehouse star graph should be elementarily acyclic")
+	}
+	if !g.Acyclic() {
+		t.Error("warehouse star graph should be acyclic")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestFig431AcyclicButNotElementarilyAcyclic(t *testing.T) {
+	// Figure 4.3.1: A(F1) reads F2 and F3; A(F2) reads F3.
+	g := graphFrom([][2]FragmentID{{"F1", "F2"}, {"F1", "F3"}, {"F2", "F3"}})
+	if !g.Acyclic() {
+		t.Error("Fig 4.3.1 graph should be (directed) acyclic")
+	}
+	if g.ElementarilyAcyclic() {
+		t.Error("Fig 4.3.1 graph must NOT be elementarily acyclic (undirected triangle)")
+	}
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted an elementarily cyclic graph")
+	}
+}
+
+func TestAirlineGraphElementarilyAcyclic(t *testing.T) {
+	// Figure 4.3.3: flight agents read customer fragments.
+	g := graphFrom([][2]FragmentID{
+		{"Fl1", "C1"}, {"Fl1", "C2"}, {"Fl2", "C1"}, {"Fl2", "C2"},
+	})
+	// C1-Fl1-C2-Fl2-C1 is an undirected 4-cycle.
+	if g.ElementarilyAcyclic() {
+		t.Error("airline graph with both flights reading both customers is elementarily cyclic")
+	}
+	// Dropping one edge breaks the cycle.
+	g2 := graphFrom([][2]FragmentID{{"Fl1", "C1"}, {"Fl1", "C2"}, {"Fl2", "C2"}})
+	if !g2.ElementarilyAcyclic() {
+		t.Error("airline graph minus one edge should be elementarily acyclic")
+	}
+}
+
+func TestAntiparallelEdgesAreElementaryCycle(t *testing.T) {
+	g := graphFrom([][2]FragmentID{{"A", "B"}, {"B", "A"}})
+	if g.ElementarilyAcyclic() {
+		t.Error("antiparallel pair should count as an elementary cycle")
+	}
+	if g.Acyclic() {
+		t.Error("antiparallel pair is a directed 2-cycle")
+	}
+}
+
+func TestDirectedCycleDetected(t *testing.T) {
+	g := graphFrom([][2]FragmentID{{"A", "B"}, {"B", "C"}, {"C", "A"}})
+	if g.Acyclic() {
+		t.Error("directed 3-cycle not detected")
+	}
+	if g.ElementarilyAcyclic() {
+		t.Error("3-cycle is also elementarily cyclic")
+	}
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted a cyclic graph")
+	}
+}
+
+func TestSelfEdgesIgnored(t *testing.T) {
+	g := graphFrom([][2]FragmentID{{"A", "A"}})
+	if len(g.Edges()) != 0 {
+		t.Error("self edge was stored")
+	}
+	if !g.ElementarilyAcyclic() {
+		t.Error("graph with only a self edge should be elementarily acyclic")
+	}
+}
+
+func TestEmptyAndSingleVertexGraphs(t *testing.T) {
+	g := NewReadAccessGraph(NewCatalog())
+	if !g.ElementarilyAcyclic() || !g.Acyclic() {
+		t.Error("empty graph misclassified")
+	}
+	g.AddVertex("F")
+	if !g.ElementarilyAcyclic() {
+		t.Error("single vertex misclassified")
+	}
+}
+
+func TestEdgesSortedAndHasEdge(t *testing.T) {
+	g := graphFrom([][2]FragmentID{{"B", "C"}, {"A", "Z"}, {"A", "B"}})
+	es := g.Edges()
+	want := [][2]FragmentID{{"A", "B"}, {"A", "Z"}, {"B", "C"}}
+	if len(es) != len(want) {
+		t.Fatalf("Edges = %v", es)
+	}
+	for i := range want {
+		if es[i] != want[i] {
+			t.Fatalf("Edges = %v, want %v", es, want)
+		}
+	}
+	if !g.HasEdge("A", "B") || g.HasEdge("B", "A") {
+		t.Error("HasEdge wrong")
+	}
+}
+
+func TestVerticesIncludeCatalogFragments(t *testing.T) {
+	c := NewCatalog()
+	c.AddFragment("F1", "a")
+	c.AddFragment("F2", "b")
+	g := NewReadAccessGraph(c)
+	vs := g.Vertices()
+	if len(vs) != 2 || vs[0] != "F1" || vs[1] != "F2" {
+		t.Errorf("Vertices = %v", vs)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := graphFrom([][2]FragmentID{{"A", "B"}})
+	cl := g.Clone()
+	cl.AddEdge("B", "A")
+	if !g.ElementarilyAcyclic() {
+		t.Error("Clone aliases original edges")
+	}
+	if cl.ElementarilyAcyclic() {
+		t.Error("clone missing new edge")
+	}
+}
+
+// Property: a forest (tree edges only) is always elementarily acyclic,
+// and adding any extra edge between existing vertices breaks it.
+func TestPropertyForestElementarilyAcyclic(t *testing.T) {
+	f := func(parents []uint8, extraA, extraB uint8) bool {
+		n := len(parents)
+		if n < 2 || n > 40 {
+			return true
+		}
+		g := NewReadAccessGraph(NewCatalog())
+		name := func(i int) FragmentID { return FragmentID(rune('A'+i%26)) + FragmentID(rune('a'+i/26)) }
+		// Build a random forest: vertex i>0 points to a parent < i
+		// (with some roots skipped).
+		for i := 1; i < n; i++ {
+			p := int(parents[i]) % i
+			if parents[i]%5 == 0 {
+				continue // root: no edge
+			}
+			g.AddEdge(name(i), name(p))
+		}
+		if !g.ElementarilyAcyclic() {
+			return false
+		}
+		// Adding an edge between two vertices already connected through
+		// the forest must create an elementary cycle; between different
+		// components it must not. We check consistency of Validate with
+		// ElementarilyAcyclic either way.
+		a := int(extraA) % n
+		b := int(extraB) % n
+		if a != b {
+			g.AddEdge(name(a), name(b))
+		}
+		return g.ElementarilyAcyclic() == (g.Validate() == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: elementary acyclicity implies directed acyclicity.
+func TestPropertyElementaryImpliesDirectedAcyclic(t *testing.T) {
+	f := func(pairs []uint8) bool {
+		g := NewReadAccessGraph(NewCatalog())
+		for i := 0; i+1 < len(pairs); i += 2 {
+			a := FragmentID(rune('A' + pairs[i]%8))
+			b := FragmentID(rune('A' + pairs[i+1]%8))
+			g.AddEdge(a, b)
+		}
+		if g.ElementarilyAcyclic() && !g.Acyclic() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(12))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+package fragments
+
+import (
+	"fmt"
+	"sort"
+
+	"fragdb/internal/netsim"
+)
+
+// Tokens tracks, for every fragment, the agent currently owning its
+// token, and for every agent, its home node. Per Section 3.1, tokens
+// "have existence outside of the computer system and can be passed by
+// means other than electronic messages": the registry is therefore
+// global ground truth, distinct from what any node believes. The agent-
+// movement protocols in package agentmove consult and mutate it.
+type Tokens struct {
+	agent map[FragmentID]AgentID
+	home  map[AgentID]netsim.NodeID
+}
+
+// NewTokens returns an empty token registry.
+func NewTokens() *Tokens {
+	return &Tokens{
+		agent: make(map[FragmentID]AgentID),
+		home:  make(map[AgentID]netsim.NodeID),
+	}
+}
+
+// Assign gives the token of fragment f to agent a, whose home node is
+// home. There is exactly one token per fragment, so any previous owner
+// loses it.
+func (t *Tokens) Assign(f FragmentID, a AgentID, home netsim.NodeID) {
+	t.agent[f] = a
+	t.home[a] = home
+}
+
+// Agent returns the agent currently holding fragment f's token.
+func (t *Tokens) Agent(f FragmentID) (AgentID, bool) {
+	a, ok := t.agent[f]
+	return a, ok
+}
+
+// Home returns the home node of agent a: the node where a last issued
+// an update transaction (for user agents) or a itself (for node agents).
+func (t *Tokens) Home(a AgentID) (netsim.NodeID, bool) {
+	n, ok := t.home[a]
+	return n, ok
+}
+
+// HomeOfFragment returns the home node of the agent of fragment f.
+func (t *Tokens) HomeOfFragment(f FragmentID) (netsim.NodeID, bool) {
+	a, ok := t.agent[f]
+	if !ok {
+		return 0, false
+	}
+	return t.Home(a)
+}
+
+// MoveAgent relocates agent a to a new home node. This is the raw
+// movement primitive; the protocols of Section 4.4 wrap it with the
+// preparatory or corrective actions that keep the database consistent.
+func (t *Tokens) MoveAgent(a AgentID, to netsim.NodeID) error {
+	if _, ok := t.home[a]; !ok {
+		return fmt.Errorf("fragments: unknown agent %q", a)
+	}
+	t.home[a] = to
+	return nil
+}
+
+// FragmentsOf returns the fragments whose tokens agent a currently
+// holds, in sorted order. An agent may control several fragments (the
+// bank's central office controls BALANCES and every RECORDED(i)).
+func (t *Tokens) FragmentsOf(a AgentID) []FragmentID {
+	var out []FragmentID
+	for f, owner := range t.agent {
+		if owner == a {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Agents returns all registered agents in sorted order.
+func (t *Tokens) Agents() []AgentID {
+	out := make([]AgentID, 0, len(t.home))
+	for a := range t.home {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks that every fragment in the catalog has exactly one
+// token owner with a known home node.
+func (t *Tokens) Validate(c *Catalog) error {
+	for _, f := range c.Fragments() {
+		a, ok := t.agent[f]
+		if !ok {
+			return fmt.Errorf("fragments: fragment %q has no token owner", f)
+		}
+		if _, ok := t.home[a]; !ok {
+			return fmt.Errorf("fragments: agent %q of fragment %q has no home node", a, f)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the registry (used by experiments that
+// explore alternative assignments).
+func (t *Tokens) Clone() *Tokens {
+	out := NewTokens()
+	for f, a := range t.agent {
+		out.agent[f] = a
+	}
+	for a, n := range t.home {
+		out.home[a] = n
+	}
+	return out
+}

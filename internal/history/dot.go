@@ -1,0 +1,38 @@
+package history
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot format, with cycle edges
+// highlighted when a cycle exists. Useful for debugging serialization
+// anomalies: pipe into `dot -Tsvg` to see the paper's Figure 4.3.2
+// materialize from a live run.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n")
+	onCycle := make(map[[2]string]bool)
+	if cyc := g.FindCycle(); cyc != nil {
+		for i := range cyc {
+			a := cyc[i].String()
+			z := cyc[(i+1)%len(cyc)].String()
+			onCycle[[2]string{a, z}] = true
+		}
+	}
+	for _, v := range g.sortedVertices() {
+		fmt.Fprintf(&b, "  %q;\n", v.String())
+	}
+	for _, v := range g.sortedVertices() {
+		for _, w := range g.sortedNeighbors(v) {
+			if onCycle[[2]string{v.String(), w.String()}] {
+				fmt.Fprintf(&b, "  %q -> %q [color=red, penwidth=2];\n", v.String(), w.String())
+			} else {
+				fmt.Fprintf(&b, "  %q -> %q;\n", v.String(), w.String())
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

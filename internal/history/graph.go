@@ -1,0 +1,165 @@
+package history
+
+import (
+	"sort"
+
+	"fragdb/internal/txn"
+)
+
+// Graph is a directed graph over transaction ids, used for
+// serialization-graph analysis.
+type Graph struct {
+	vertices map[txn.ID]struct{}
+	adj      map[txn.ID]map[txn.ID]struct{}
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		vertices: make(map[txn.ID]struct{}),
+		adj:      make(map[txn.ID]map[txn.ID]struct{}),
+	}
+}
+
+// AddVertex declares a vertex.
+func (g *Graph) AddVertex(v txn.ID) { g.vertices[v] = struct{}{} }
+
+// AddEdge adds the directed edge a -> b (self-edges ignored).
+func (g *Graph) AddEdge(a, b txn.ID) {
+	if a == b {
+		return
+	}
+	g.vertices[a] = struct{}{}
+	g.vertices[b] = struct{}{}
+	m, ok := g.adj[a]
+	if !ok {
+		m = make(map[txn.ID]struct{})
+		g.adj[a] = m
+	}
+	m[b] = struct{}{}
+}
+
+// HasEdge reports whether edge a -> b exists.
+func (g *Graph) HasEdge(a, b txn.ID) bool {
+	_, ok := g.adj[a][b]
+	return ok
+}
+
+// NumVertices reports the vertex count.
+func (g *Graph) NumVertices() int { return len(g.vertices) }
+
+// NumEdges reports the edge count.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, m := range g.adj {
+		n += len(m)
+	}
+	return n
+}
+
+// sortedVertices returns vertices in deterministic order.
+func (g *Graph) sortedVertices() []txn.ID {
+	out := make([]txn.ID, 0, len(g.vertices))
+	for v := range g.vertices {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// sortedNeighbors returns v's successors in deterministic order.
+func (g *Graph) sortedNeighbors(v txn.ID) []txn.ID {
+	out := make([]txn.ID, 0, len(g.adj[v]))
+	for w := range g.adj[v] {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// FindCycle returns the vertices of some directed cycle in order (the
+// last element has an edge back to the first), or nil if the graph is
+// acyclic.
+func (g *Graph) FindCycle() []txn.ID {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[txn.ID]int, len(g.vertices))
+	parent := make(map[txn.ID]txn.ID)
+	var cycle []txn.ID
+	var visit func(txn.ID) bool
+	visit = func(v txn.ID) bool {
+		color[v] = gray
+		for _, w := range g.sortedNeighbors(v) {
+			switch color[w] {
+			case gray:
+				// Found a back edge v -> w; reconstruct w ... v.
+				cycle = []txn.ID{w}
+				for cur := v; cur != w; cur = parent[cur] {
+					cycle = append(cycle, cur)
+				}
+				// Reverse into w -> ... -> v order.
+				for i, j := 1, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return true
+			case white:
+				parent[w] = v
+				if visit(w) {
+					return true
+				}
+			}
+		}
+		color[v] = black
+		return false
+	}
+	for _, v := range g.sortedVertices() {
+		if color[v] == white && visit(v) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// Acyclic reports whether the graph has no directed cycle.
+func (g *Graph) Acyclic() bool { return g.FindCycle() == nil }
+
+// TopoOrder returns a topological order of the vertices (a witness
+// serial schedule) or nil if the graph is cyclic.
+func (g *Graph) TopoOrder() []txn.ID {
+	indeg := make(map[txn.ID]int, len(g.vertices))
+	for v := range g.vertices {
+		indeg[v] += 0
+	}
+	for _, m := range g.adj {
+		for w := range m {
+			indeg[w]++
+		}
+	}
+	var ready []txn.ID
+	for v, d := range indeg {
+		if d == 0 {
+			ready = append(ready, v)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i].Less(ready[j]) })
+	var out []txn.ID
+	for len(ready) > 0 {
+		v := ready[0]
+		ready = ready[1:]
+		out = append(out, v)
+		for _, w := range g.sortedNeighbors(v) {
+			indeg[w]--
+			if indeg[w] == 0 {
+				ready = append(ready, w)
+				sort.Slice(ready, func(i, j int) bool { return ready[i].Less(ready[j]) })
+			}
+		}
+	}
+	if len(out) != len(g.vertices) {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package history
+
+import (
+	"strings"
+	"testing"
+
+	"fragdb/internal/txn"
+)
+
+func tid(n uint64) txn.ID { return txn.ID{Origin: 0, Seq: n} }
+
+func TestEmptyGraphAcyclic(t *testing.T) {
+	g := NewGraph()
+	if !g.Acyclic() || g.FindCycle() != nil {
+		t.Error("empty graph misclassified")
+	}
+	if g.TopoOrder() == nil && g.NumVertices() != 0 {
+		t.Error("topo of empty graph")
+	}
+}
+
+func TestSelfEdgeIgnored(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge(tid(1), tid(1))
+	if g.NumEdges() != 0 {
+		t.Error("self edge stored")
+	}
+}
+
+func TestSimpleCycle(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge(tid(1), tid(2))
+	g.AddEdge(tid(2), tid(3))
+	g.AddEdge(tid(3), tid(1))
+	cyc := g.FindCycle()
+	if cyc == nil {
+		t.Fatal("cycle not found")
+	}
+	if len(cyc) != 3 {
+		t.Fatalf("cycle = %v", cyc)
+	}
+	// Each consecutive pair must be an edge, wrapping around.
+	for i := range cyc {
+		if !g.HasEdge(cyc[i], cyc[(i+1)%len(cyc)]) {
+			t.Fatalf("cycle %v has non-edge at %d", cyc, i)
+		}
+	}
+	if g.TopoOrder() != nil {
+		t.Error("TopoOrder of cyclic graph non-nil")
+	}
+}
+
+func TestDAGTopoOrder(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge(tid(1), tid(2))
+	g.AddEdge(tid(1), tid(3))
+	g.AddEdge(tid(2), tid(4))
+	g.AddEdge(tid(3), tid(4))
+	g.AddVertex(tid(5))
+	order := g.TopoOrder()
+	if order == nil || len(order) != 5 {
+		t.Fatalf("TopoOrder = %v", order)
+	}
+	pos := make(map[txn.ID]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range [][2]uint64{{1, 2}, {1, 3}, {2, 4}, {3, 4}} {
+		if pos[tid(e[0])] >= pos[tid(e[1])] {
+			t.Errorf("topo order violates edge %v", e)
+		}
+	}
+	if g.FindCycle() != nil {
+		t.Error("DAG reported cyclic")
+	}
+}
+
+func TestTwoCycle(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge(tid(1), tid(2))
+	g.AddEdge(tid(2), tid(1))
+	cyc := g.FindCycle()
+	if len(cyc) != 2 {
+		t.Fatalf("cycle = %v", cyc)
+	}
+}
+
+func TestCycleInSecondComponent(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge(tid(1), tid(2)) // acyclic component
+	g.AddEdge(tid(10), tid(11))
+	g.AddEdge(tid(11), tid(10))
+	if g.FindCycle() == nil {
+		t.Error("cycle in later component missed")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge(tid(1), tid(2))
+	g.AddEdge(tid(1), tid(3))
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Errorf("counts = %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestDOTRendering(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge(tid(1), tid(2))
+	g.AddEdge(tid(2), tid(3))
+	g.AddEdge(tid(3), tid(1))
+	dot := g.DOT("gsg")
+	for _, want := range []string{"digraph \"gsg\"", "T(N0#1)", "color=red"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Acyclic graph: no red edges.
+	g2 := NewGraph()
+	g2.AddEdge(tid(1), tid(2))
+	if strings.Contains(g2.DOT("ok"), "color=red") {
+		t.Error("acyclic graph rendered cycle edges")
+	}
+}

@@ -1,0 +1,345 @@
+// Package lock implements the per-node lock manager used by the local
+// concurrency control mechanism (paper Section 2.2: "at every node in
+// the system, a local concurrency control mechanism is implemented").
+//
+// The manager provides strict two-phase locking: shared and exclusive
+// locks acquired incrementally during a transaction's growing phase and
+// released all at once at commit or abort. Conflicting requests queue
+// in FIFO order. A waits-for graph is maintained and checked on every
+// blocked acquisition; if granting the wait would close a cycle, the
+// request is denied with ErrDeadlock and the caller is expected to
+// abort the requesting transaction.
+//
+// The manager is a passive, synchronous data structure: it never blocks
+// and never spawns goroutines, so it composes with the deterministic
+// event simulation. Callers park transactions whose requests are queued
+// and resume them when Release reports the requests as granted.
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fragdb/internal/fragments"
+	"fragdb/internal/txn"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes: Shared for reads, Exclusive for writes.
+const (
+	Shared Mode = iota
+	Exclusive
+)
+
+// String returns "S" or "X".
+func (m Mode) String() string {
+	if m == Shared {
+		return "S"
+	}
+	return "X"
+}
+
+// ErrDeadlock is returned by Acquire when queueing the request would
+// create a cycle in the waits-for graph.
+var ErrDeadlock = errors.New("lock: deadlock detected")
+
+// Grant identifies a queued request that has just been granted by a
+// Release call.
+type Grant struct {
+	Txn    txn.ID
+	Object fragments.ObjectID
+	Mode   Mode
+}
+
+type request struct {
+	id   txn.ID
+	mode Mode
+}
+
+type entry struct {
+	holders map[txn.ID]Mode
+	queue   []request
+}
+
+// Manager is a lock table for one node. It is not safe for concurrent
+// use; the owning engine serializes access.
+type Manager struct {
+	table map[fragments.ObjectID]*entry
+	// held[t] is the set of objects on which t holds a lock.
+	held map[txn.ID]map[fragments.ObjectID]struct{}
+	// waiting[t] is the object t is queued on (a transaction waits on at
+	// most one request at a time), or absent.
+	waiting map[txn.ID]fragments.ObjectID
+}
+
+// NewManager returns an empty lock table.
+func NewManager() *Manager {
+	return &Manager{
+		table:   make(map[fragments.ObjectID]*entry),
+		held:    make(map[txn.ID]map[fragments.ObjectID]struct{}),
+		waiting: make(map[txn.ID]fragments.ObjectID),
+	}
+}
+
+func (m *Manager) entryFor(o fragments.ObjectID) *entry {
+	e, ok := m.table[o]
+	if !ok {
+		e = &entry{holders: make(map[txn.ID]Mode)}
+		m.table[o] = e
+	}
+	return e
+}
+
+// compatible reports whether a request by id with the given mode can be
+// granted given the current holders of e.
+func compatible(e *entry, id txn.ID, mode Mode) bool {
+	for holder, hm := range e.holders {
+		if holder == id {
+			continue // self-compatibility handled by caller (upgrade)
+		}
+		if mode == Exclusive || hm == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// Acquire requests a lock on o for transaction id. It returns
+// (true, nil) if the lock is granted immediately, (false, nil) if the
+// request was queued (the caller must park the transaction until a
+// Release reports the grant), and (false, ErrDeadlock) if queueing
+// would deadlock (the request is not queued; the caller should abort
+// the transaction).
+//
+// Re-acquiring a held lock is a no-op; a Shared holder requesting
+// Exclusive upgrades in place when it is the only holder, otherwise the
+// upgrade queues (and is deadlock-checked) like any other request.
+func (m *Manager) Acquire(id txn.ID, o fragments.ObjectID, mode Mode) (bool, error) {
+	e := m.entryFor(o)
+	if hm, ok := e.holders[id]; ok {
+		if hm == Exclusive || mode == Shared {
+			return true, nil // already sufficient
+		}
+		// Upgrade S -> X.
+		if len(e.holders) == 1 {
+			e.holders[id] = Exclusive
+			return true, nil
+		}
+	} else if compatible(e, id, mode) && !m.queuedAhead(e, id, mode) {
+		e.holders[id] = mode
+		m.markHeld(id, o)
+		return true, nil
+	}
+	// Would wait: deadlock check first.
+	if m.wouldDeadlock(id, o, mode) {
+		return false, ErrDeadlock
+	}
+	e.queue = append(e.queue, request{id: id, mode: mode})
+	m.waiting[id] = o
+	return false, nil
+}
+
+// queuedAhead reports whether granting (id, mode) immediately would
+// bypass an earlier queued request it conflicts with. Shared requests
+// may not jump over a queued Exclusive (writer starvation guard).
+func (m *Manager) queuedAhead(e *entry, id txn.ID, mode Mode) bool {
+	for _, r := range e.queue {
+		if r.id == id {
+			continue
+		}
+		if mode == Exclusive || r.mode == Exclusive {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Manager) markHeld(id txn.ID, o fragments.ObjectID) {
+	set, ok := m.held[id]
+	if !ok {
+		set = make(map[fragments.ObjectID]struct{})
+		m.held[id] = set
+	}
+	set[o] = struct{}{}
+}
+
+// wouldDeadlock checks whether blocking id on object o (with the given
+// mode) closes a cycle in the waits-for graph.
+func (m *Manager) wouldDeadlock(id txn.ID, o fragments.ObjectID, mode Mode) bool {
+	// id would wait for: current incompatible holders of o, plus queued
+	// requests it cannot bypass. We approximate the latter by the
+	// holders only and the existing queue's transitive waits; this is
+	// the standard conservative waits-for construction.
+	visited := make(map[txn.ID]bool)
+	var stack []txn.ID
+	push := func(t txn.ID) {
+		if t != id && !visited[t] {
+			visited[t] = true
+			stack = append(stack, t)
+		}
+	}
+	e := m.table[o]
+	for holder, hm := range e.holders {
+		if holder == id {
+			continue
+		}
+		if mode == Exclusive || hm == Exclusive {
+			push(holder)
+		}
+	}
+	for _, r := range e.queue {
+		if mode == Exclusive || r.mode == Exclusive {
+			push(r.id)
+		}
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == id {
+			return true
+		}
+		// cur waits on some object; it waits for that object's holders
+		// and conflicting queued requests ahead of it.
+		wo, ok := m.waiting[cur]
+		if !ok {
+			continue
+		}
+		we := m.table[wo]
+		var curMode Mode
+		for _, r := range we.queue {
+			if r.id == cur {
+				curMode = r.mode
+				break
+			}
+		}
+		for holder, hm := range we.holders {
+			if holder == cur {
+				continue
+			}
+			if curMode == Exclusive || hm == Exclusive {
+				if holder == id {
+					return true
+				}
+				push(holder)
+			}
+		}
+		for _, r := range we.queue {
+			if r.id == cur {
+				break // only requests ahead of cur
+			}
+			if curMode == Exclusive || r.mode == Exclusive {
+				if r.id == id {
+					return true
+				}
+				push(r.id)
+			}
+		}
+	}
+	return false
+}
+
+// Release frees every lock held by id, removes any queued request of
+// id, and returns the requests that become granted as a result, in
+// grant order. The returned transactions' locks are already installed;
+// the caller resumes them.
+func (m *Manager) Release(id txn.ID) []Grant {
+	var grants []Grant
+	// Remove a pending queued request, if any.
+	if o, ok := m.waiting[id]; ok {
+		e := m.table[o]
+		for i, r := range e.queue {
+			if r.id == id {
+				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				break
+			}
+		}
+		delete(m.waiting, id)
+	}
+	objs := make([]fragments.ObjectID, 0, len(m.held[id]))
+	for o := range m.held[id] {
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	delete(m.held, id)
+	for _, o := range objs {
+		e := m.table[o]
+		delete(e.holders, id)
+		grants = append(grants, m.promote(o, e)...)
+	}
+	return grants
+}
+
+// promote grants queued requests on o that are now compatible, in FIFO
+// order, stopping at the first incompatible request.
+func (m *Manager) promote(o fragments.ObjectID, e *entry) []Grant {
+	var grants []Grant
+	for len(e.queue) > 0 {
+		r := e.queue[0]
+		if hm, ok := e.holders[r.id]; ok && r.mode == Exclusive && hm == Shared {
+			// queued upgrade
+			if len(e.holders) != 1 {
+				break
+			}
+			e.holders[r.id] = Exclusive
+		} else if compatible(e, r.id, r.mode) {
+			e.holders[r.id] = r.mode
+			m.markHeld(r.id, o)
+		} else {
+			break
+		}
+		e.queue = e.queue[1:]
+		delete(m.waiting, r.id)
+		grants = append(grants, Grant{Txn: r.id, Object: o, Mode: r.mode})
+	}
+	return grants
+}
+
+// Holds reports whether id currently holds a lock on o of at least the
+// given mode.
+func (m *Manager) Holds(id txn.ID, o fragments.ObjectID, mode Mode) bool {
+	e, ok := m.table[o]
+	if !ok {
+		return false
+	}
+	hm, ok := e.holders[id]
+	return ok && (hm == Exclusive || mode == Shared)
+}
+
+// Holders returns the transactions currently holding a lock on o, in
+// deterministic order.
+func (m *Manager) Holders(o fragments.ObjectID) []txn.ID {
+	e, ok := m.table[o]
+	if !ok {
+		return nil
+	}
+	out := make([]txn.ID, 0, len(e.holders))
+	for id := range e.holders {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Waiting reports whether id has a queued (blocked) request.
+func (m *Manager) Waiting(id txn.ID) bool {
+	_, ok := m.waiting[id]
+	return ok
+}
+
+// NumHeld reports how many objects id holds locks on.
+func (m *Manager) NumHeld(id txn.ID) int { return len(m.held[id]) }
+
+// String renders a compact dump of the lock table for debugging.
+func (m *Manager) String() string {
+	out := ""
+	for o, e := range m.table {
+		if len(e.holders) == 0 && len(e.queue) == 0 {
+			continue
+		}
+		out += fmt.Sprintf("%s: holders=%v queue=%v\n", o, e.holders, e.queue)
+	}
+	return out
+}

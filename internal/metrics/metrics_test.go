@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAvailability(t *testing.T) {
+	var c Counters
+	if c.Availability() != 1 {
+		t.Errorf("empty availability = %v, want 1", c.Availability())
+	}
+	c.Offered.Add(10)
+	c.Committed.Add(7)
+	if got := c.Availability(); got != 0.7 {
+		t.Errorf("availability = %v", got)
+	}
+}
+
+func TestMeanCommitLatency(t *testing.T) {
+	var c Counters
+	if c.MeanCommitLatency() != 0 {
+		t.Error("mean latency with no commits nonzero")
+	}
+	c.Committed.Add(2)
+	c.CommitLatencyTotal.Add(int64(30 * time.Millisecond))
+	if got := c.MeanCommitLatency(); got != 15*time.Millisecond {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestStringContainsHeadlines(t *testing.T) {
+	var c Counters
+	c.Offered.Add(4)
+	c.Committed.Add(3)
+	c.Aborted.Add(1)
+	s := c.String()
+	for _, want := range []string{"offered=4", "committed=3", "aborted=1", "avail=0.750"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Offered.Add(1)
+				c.Committed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Offered.Load() != 8000 || c.Committed.Load() != 8000 {
+		t.Errorf("counts: %d/%d", c.Committed.Load(), c.Offered.Load())
+	}
+}

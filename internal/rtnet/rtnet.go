@@ -1,0 +1,182 @@
+// Package rtnet is the real-time counterpart of package netsim: the
+// same Transport interface, backed by goroutines and timers instead of
+// a virtual-time scheduler. Message delivery happens after a real
+// latency on its own goroutine, so upper layers (notably the reliable
+// broadcast) can be exercised live, as a concurrent program rather than
+// a deterministic simulation.
+//
+// The deterministic simulator remains the reference environment for
+// experiments and tests; rtnet exists to demonstrate that the protocol
+// stack is not coupled to virtual time and to support interactive
+// demos. Handlers are invoked concurrently and must be thread-safe.
+package rtnet
+
+import (
+	"sync"
+	"time"
+
+	"fragdb/internal/netsim"
+)
+
+// Network is a goroutine-based in-process network. It satisfies
+// netsim.Transport.
+type Network struct {
+	n       int
+	latency time.Duration
+
+	mu       sync.RWMutex
+	handlers []netsim.Handler
+	cut      [][]bool
+	down     []bool
+	closed   bool
+
+	// inflight tracks undelivered messages so Close can drain.
+	inflight sync.WaitGroup
+}
+
+// New creates a real-time network of n nodes with the given one-way
+// delivery latency.
+func New(n int, latency time.Duration) *Network {
+	if n <= 0 {
+		panic("rtnet: network needs at least one node")
+	}
+	nw := &Network{
+		n:        n,
+		latency:  latency,
+		handlers: make([]netsim.Handler, n),
+		down:     make([]bool, n),
+	}
+	nw.cut = make([][]bool, n)
+	for i := range nw.cut {
+		nw.cut[i] = make([]bool, n)
+	}
+	return nw
+}
+
+// N reports the number of nodes.
+func (nw *Network) N() int { return nw.n }
+
+// SetHandler installs the delivery callback for a node. Handlers are
+// invoked from delivery goroutines and must synchronize internally.
+func (nw *Network) SetHandler(node netsim.NodeID, h netsim.Handler) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.handlers[node] = h
+}
+
+// Send transmits payload after the configured latency. Messages across
+// severed links or to/from down nodes are dropped, as in netsim.
+func (nw *Network) Send(from, to netsim.NodeID, payload any) {
+	nw.mu.RLock()
+	ok := !nw.closed && !nw.down[from] && !nw.down[to] &&
+		(from == to || !nw.cut[from][to])
+	nw.mu.RUnlock()
+	if !ok {
+		return
+	}
+	nw.inflight.Add(1)
+	time.AfterFunc(nw.latency, func() {
+		defer nw.inflight.Done()
+		nw.mu.RLock()
+		h := nw.handlers[to]
+		dropped := nw.closed || nw.down[to]
+		nw.mu.RUnlock()
+		if h == nil || dropped {
+			return
+		}
+		h(from, payload)
+	})
+}
+
+// SetLink severs (up=false) or restores (up=true) the link a-b.
+func (nw *Network) SetLink(a, b netsim.NodeID, up bool) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.cut[a][b] = !up
+	nw.cut[b][a] = !up
+}
+
+// Partition splits the network into the given groups (unmentioned
+// nodes are isolated), as netsim.Network.Partition.
+func (nw *Network) Partition(groups ...[]netsim.NodeID) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	group := make([]int, nw.n)
+	for i := range group {
+		group[i] = -1 - i
+	}
+	for gi, g := range groups {
+		for _, id := range g {
+			group[id] = gi
+		}
+	}
+	for a := 0; a < nw.n; a++ {
+		for b := a + 1; b < nw.n; b++ {
+			same := group[a] == group[b]
+			nw.cut[a][b] = !same
+			nw.cut[b][a] = !same
+		}
+	}
+}
+
+// Heal restores every link.
+func (nw *Network) Heal() {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	for a := range nw.cut {
+		for b := range nw.cut[a] {
+			nw.cut[a][b] = false
+		}
+	}
+}
+
+// SetNodeDown crashes or restarts a node.
+func (nw *Network) SetNodeDown(node netsim.NodeID, down bool) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.down[node] = down
+}
+
+// Reachable reports whether b is currently reachable from a over up
+// links.
+func (nw *Network) Reachable(a, b netsim.NodeID) bool {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	if nw.down[a] || nw.down[b] {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	seen := make([]bool, nw.n)
+	queue := []netsim.NodeID{a}
+	seen[a] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for next := 0; next < nw.n; next++ {
+			nid := netsim.NodeID(next)
+			if seen[next] || nw.down[next] || nw.cut[cur][next] || nid == cur {
+				continue
+			}
+			if nid == b {
+				return true
+			}
+			seen[next] = true
+			queue = append(queue, nid)
+		}
+	}
+	return false
+}
+
+// Close stops accepting new messages and waits for in-flight
+// deliveries to finish or drop.
+func (nw *Network) Close() {
+	nw.mu.Lock()
+	nw.closed = true
+	nw.mu.Unlock()
+	nw.inflight.Wait()
+}
+
+// Compile-time check that Network satisfies the transport contract.
+var _ netsim.Transport = (*Network)(nil)

@@ -1,0 +1,136 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fragdb/internal/fragments"
+	"fragdb/internal/simtime"
+	"fragdb/internal/txn"
+)
+
+func quickCatalog() *fragments.Catalog {
+	c := fragments.NewCatalog()
+	var objs []fragments.ObjectID
+	for i := 0; i < 8; i++ {
+		objs = append(objs, fragments.ObjectID(fmt.Sprintf("o%d", i)))
+	}
+	c.AddFragment("F", objs...)
+	return c
+}
+
+// Property: applying the same log of writes to two empty stores in the
+// same order yields identical stores (Diff empty); the final value of
+// each object is the last write's value; the WAL length equals the
+// number of Apply calls.
+func TestQuickReplayDeterminism(t *testing.T) {
+	f := func(ops []uint16) bool {
+		cat := quickCatalog()
+		s1, s2 := New(0, cat), New(1, cat)
+		last := map[fragments.ObjectID]any{}
+		for i, op := range ops {
+			obj := fragments.ObjectID(fmt.Sprintf("o%d", op%8))
+			id := txn.ID{Origin: 0, Seq: uint64(i)}
+			w := []txn.WriteOp{{Object: obj, Value: int(op)}}
+			pos := txn.FragPos{Seq: uint64(i + 1)}
+			s1.Apply(id, "F", pos, w, simtime.Time(i))
+			s2.Apply(id, "F", pos, w, simtime.Time(i))
+			last[obj] = int(op)
+		}
+		if len(s1.Diff(s2)) != 0 {
+			return false
+		}
+		for obj, want := range last {
+			if v, ok := s1.Get(obj); !ok || v != want {
+				return false
+			}
+		}
+		return s1.LSN() == uint64(len(ops))
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Diff is symmetric (same objects reported whichever side
+// calls), and empty exactly when snapshots are equal.
+func TestQuickDiffSymmetric(t *testing.T) {
+	f := func(aOps, bOps []uint8) bool {
+		cat := quickCatalog()
+		a, b := New(0, cat), New(1, cat)
+		for i, op := range aOps {
+			a.Apply(txn.ID{Seq: uint64(i)}, "F", txn.FragPos{Seq: uint64(i + 1)},
+				[]txn.WriteOp{{Object: fragments.ObjectID(fmt.Sprintf("o%d", op%8)), Value: int(op)}}, 0)
+		}
+		for i, op := range bOps {
+			b.Apply(txn.ID{Seq: uint64(i)}, "F", txn.FragPos{Seq: uint64(i + 1)},
+				[]txn.WriteOp{{Object: fragments.ObjectID(fmt.Sprintf("o%d", op%8)), Value: int(op)}}, 0)
+		}
+		d1, d2 := a.Diff(b), b.Diff(a)
+		if len(d1) != len(d2) {
+			return false
+		}
+		for i := range d1 {
+			if d1[i] != d2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a fragment snapshot installed into an empty store makes the
+// two stores agree on that fragment.
+func TestQuickSnapshotTransfer(t *testing.T) {
+	f := func(ops []uint8) bool {
+		cat := quickCatalog()
+		src, dst := New(0, cat), New(1, cat)
+		for i, op := range ops {
+			src.Apply(txn.ID{Seq: uint64(i)}, "F", txn.FragPos{Seq: uint64(i + 1)},
+				[]txn.WriteOp{{Object: fragments.ObjectID(fmt.Sprintf("o%d", op%8)), Value: int(op)}},
+				simtime.Time(i))
+		}
+		dst.InstallFragmentSnapshot("F", src.FragmentSnapshot("F"))
+		return len(src.FragmentDiff(dst, "F")) == 0
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(6))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LogSince(k) ++ first k records == Log, for any k.
+func TestQuickLogSincePartition(t *testing.T) {
+	f := func(nOps uint8, k uint8) bool {
+		cat := quickCatalog()
+		s := New(0, cat)
+		n := int(nOps % 50)
+		for i := 0; i < n; i++ {
+			s.Apply(txn.ID{Seq: uint64(i)}, "F", txn.FragPos{Seq: uint64(i + 1)},
+				[]txn.WriteOp{{Object: "o0", Value: i}}, 0)
+		}
+		cut := uint64(k) % (uint64(n) + 1)
+		head := s.Log()[:cut]
+		tail := s.LogSince(cut)
+		if len(head)+len(tail) != n {
+			return false
+		}
+		for i, r := range tail {
+			if r.LSN != cut+uint64(i)+1 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

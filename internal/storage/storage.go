@@ -1,0 +1,240 @@
+// Package storage implements the per-node replicated database copy:
+// a versioned key-value store over the fragment catalog, with a
+// write-ahead log of installed transactions and quasi-transactions.
+//
+// Every node holds a complete copy of the database (the paper assumes
+// full replication for simplicity; Section 3.1). The store is the unit
+// compared by the mutual-consistency checker: after quiescence and full
+// propagation, all copies of every fragment must be identical.
+package storage
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+
+	"fragdb/internal/fragments"
+	"fragdb/internal/netsim"
+	"fragdb/internal/simtime"
+	"fragdb/internal/txn"
+)
+
+// Version is the current value of an object together with provenance:
+// which transaction wrote it and when. Data items are timestamped, as
+// the no-preparation movement protocol of Section 4.4.3 assumes.
+type Version struct {
+	Value any
+	Txn   txn.ID
+	Stamp simtime.Time
+	// Pos is the position in the fragment's update stream of the
+	// installing (quasi-)transaction (zero for initial loads).
+	Pos txn.FragPos
+}
+
+// LogRecord is one entry in the store's write-ahead log: a transaction
+// or quasi-transaction whose writes were installed atomically.
+type LogRecord struct {
+	LSN      uint64
+	Txn      txn.ID
+	Fragment fragments.FragmentID
+	Pos      txn.FragPos
+	Quasi    bool
+	Writes   []txn.WriteOp
+	Stamp    simtime.Time
+}
+
+// Store is one node's copy of the database. It is safe for concurrent
+// use (the real-time transport delivers from multiple goroutines).
+type Store struct {
+	mu   sync.RWMutex
+	node netsim.NodeID
+	cat  *fragments.Catalog
+	vals map[fragments.ObjectID]Version
+	log  []LogRecord
+	lsn  uint64
+}
+
+// New creates an empty store for the given node over the catalog.
+func New(node netsim.NodeID, cat *fragments.Catalog) *Store {
+	return &Store{
+		node: node,
+		cat:  cat,
+		vals: make(map[fragments.ObjectID]Version),
+	}
+}
+
+// Node returns the owning node's id.
+func (s *Store) Node() netsim.NodeID { return s.node }
+
+// Catalog returns the fragment catalog the store was built over.
+func (s *Store) Catalog() *fragments.Catalog { return s.cat }
+
+// Load installs an initial value outside any transaction (database
+// population before the simulation starts).
+func (s *Store) Load(o fragments.ObjectID, v any) error {
+	if _, ok := s.cat.FragmentOf(o); !ok {
+		return fmt.Errorf("storage: load of object %q not in catalog", o)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vals[o] = Version{Value: v}
+	return nil
+}
+
+// Get returns the current value of an object. The second result is
+// false if the object has never been written or loaded.
+func (s *Store) Get(o fragments.ObjectID) (any, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ver, ok := s.vals[o]
+	if !ok {
+		return nil, false
+	}
+	return ver.Value, true
+}
+
+// GetVersion returns the full version record for an object.
+func (s *Store) GetVersion(o fragments.ObjectID) (Version, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ver, ok := s.vals[o]
+	return ver, ok
+}
+
+// Apply atomically installs the writes of a locally executed
+// transaction and appends a log record.
+func (s *Store) Apply(id txn.ID, frag fragments.FragmentID, pos txn.FragPos, writes []txn.WriteOp, stamp simtime.Time) uint64 {
+	return s.install(id, frag, pos, false, writes, stamp)
+}
+
+// ApplyQuasi atomically installs a quasi-transaction received from a
+// remote home node and appends a log record.
+func (s *Store) ApplyQuasi(q txn.Quasi) uint64 {
+	return s.install(q.Txn, q.Fragment, q.Pos, true, q.Writes, q.Stamp)
+}
+
+func (s *Store) install(id txn.ID, frag fragments.FragmentID, pos txn.FragPos, quasi bool, writes []txn.WriteOp, stamp simtime.Time) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range writes {
+		s.vals[w.Object] = Version{Value: w.Value, Txn: id, Stamp: stamp, Pos: pos}
+	}
+	s.lsn++
+	s.log = append(s.log, LogRecord{
+		LSN: s.lsn, Txn: id, Fragment: frag, Pos: pos,
+		Quasi: quasi, Writes: writes, Stamp: stamp,
+	})
+	return s.lsn
+}
+
+// LSN returns the log sequence number of the last installed record.
+func (s *Store) LSN() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lsn
+}
+
+// Log returns a copy of the write-ahead log.
+func (s *Store) Log() []LogRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]LogRecord, len(s.log))
+	copy(out, s.log)
+	return out
+}
+
+// LogSince returns a copy of log records with LSN > after.
+func (s *Store) LogSince(after uint64) []LogRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i := sort.Search(len(s.log), func(i int) bool { return s.log[i].LSN > after })
+	out := make([]LogRecord, len(s.log)-i)
+	copy(out, s.log[i:])
+	return out
+}
+
+// Snapshot returns a copy of all current object values.
+func (s *Store) Snapshot() map[fragments.ObjectID]any {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[fragments.ObjectID]any, len(s.vals))
+	for o, v := range s.vals {
+		out[o] = v.Value
+	}
+	return out
+}
+
+// FragmentSnapshot returns a copy of the current values of the objects
+// of one fragment (used by the move-with-data protocol of Section
+// 4.4.2A, which transports the fragment's contents with the agent).
+func (s *Store) FragmentSnapshot(frag fragments.FragmentID) map[fragments.ObjectID]Version {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[fragments.ObjectID]Version)
+	f, ok := s.cat.Fragment(frag)
+	if !ok {
+		return out
+	}
+	for _, o := range f.Objects() {
+		if v, ok := s.vals[o]; ok {
+			out[o] = v
+		}
+	}
+	return out
+}
+
+// InstallFragmentSnapshot overwrites the local copy of one fragment
+// with a snapshot transported from another node (Section 4.4.2A:
+// "transport a copy of the fragment stored at X to store it in place of
+// the copy of the fragment at site Y").
+func (s *Store) InstallFragmentSnapshot(frag fragments.FragmentID, snap map[fragments.ObjectID]Version) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for o, v := range snap {
+		s.vals[o] = v
+	}
+}
+
+// Diff returns the objects whose current values differ between the two
+// stores (missing counts as different), in sorted order. Values are
+// compared with reflect.DeepEqual so composite values work.
+func (s *Store) Diff(other *Store) []fragments.ObjectID {
+	a := s.Snapshot()
+	b := other.Snapshot()
+	var out []fragments.ObjectID
+	seen := make(map[fragments.ObjectID]struct{})
+	for o, va := range a {
+		seen[o] = struct{}{}
+		vb, ok := b[o]
+		if !ok || !reflect.DeepEqual(va, vb) {
+			out = append(out, o)
+		}
+	}
+	for o := range b {
+		if _, ok := seen[o]; !ok {
+			out = append(out, o)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FragmentDiff is like Diff restricted to one fragment's objects.
+func (s *Store) FragmentDiff(other *Store, frag fragments.FragmentID) []fragments.ObjectID {
+	all := s.Diff(other)
+	var out []fragments.ObjectID
+	for _, o := range all {
+		if f, ok := s.cat.FragmentOf(o); ok && f == frag {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Len reports the number of objects with a value.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.vals)
+}

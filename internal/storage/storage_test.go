@@ -1,0 +1,176 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+
+	"fragdb/internal/fragments"
+	"fragdb/internal/txn"
+)
+
+func testCatalog(t *testing.T) *fragments.Catalog {
+	t.Helper()
+	c := fragments.NewCatalog()
+	if err := c.AddFragment("F1", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddFragment("F2", "c"); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestLoadAndGet(t *testing.T) {
+	s := New(0, testCatalog(t))
+	if err := s.Load("a", 10); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get("a"); !ok || v != 10 {
+		t.Errorf("Get(a) = %v, %v", v, ok)
+	}
+	if _, ok := s.Get("b"); ok {
+		t.Error("Get of unloaded object returned true")
+	}
+	if err := s.Load("zzz", 1); err == nil {
+		t.Error("Load of uncataloged object accepted")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Node() != 0 || s.Catalog() == nil {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestApplyAtomicAndLogged(t *testing.T) {
+	s := New(0, testCatalog(t))
+	id := txn.ID{Origin: 0, Seq: 1}
+	lsn := s.Apply(id, "F1", txn.FragPos{Seq: 1}, []txn.WriteOp{{Object: "a", Value: 1}, {Object: "b", Value: 2}}, 100)
+	if lsn != 1 || s.LSN() != 1 {
+		t.Errorf("lsn = %d", lsn)
+	}
+	ver, ok := s.GetVersion("a")
+	if !ok || ver.Value != 1 || ver.Txn != id || ver.Stamp != 100 || ver.Pos.Seq != 1 {
+		t.Errorf("version = %+v", ver)
+	}
+	log := s.Log()
+	if len(log) != 1 || log[0].Quasi || log[0].Fragment != "F1" || len(log[0].Writes) != 2 {
+		t.Errorf("log = %+v", log)
+	}
+}
+
+func TestApplyQuasi(t *testing.T) {
+	s := New(1, testCatalog(t))
+	q := txn.Quasi{
+		Txn: txn.ID{Origin: 0, Seq: 5}, Fragment: "F2", Pos: txn.FragPos{Seq: 3},
+		Home: 0, Writes: []txn.WriteOp{{Object: "c", Value: 9}}, Stamp: 50,
+	}
+	s.ApplyQuasi(q)
+	if v, _ := s.Get("c"); v != 9 {
+		t.Errorf("c = %v", v)
+	}
+	log := s.Log()
+	if len(log) != 1 || !log[0].Quasi || log[0].Pos.Seq != 3 {
+		t.Errorf("log = %+v", log)
+	}
+}
+
+func TestLogSince(t *testing.T) {
+	s := New(0, testCatalog(t))
+	for i := 1; i <= 5; i++ {
+		s.Apply(txn.ID{Seq: uint64(i)}, "F1", txn.FragPos{Seq: uint64(i)}, []txn.WriteOp{{Object: "a", Value: i}}, 0)
+	}
+	since := s.LogSince(3)
+	if len(since) != 2 || since[0].LSN != 4 || since[1].LSN != 5 {
+		t.Errorf("LogSince(3) = %+v", since)
+	}
+	if len(s.LogSince(10)) != 0 {
+		t.Error("LogSince beyond end nonempty")
+	}
+	if len(s.LogSince(0)) != 5 {
+		t.Error("LogSince(0) should return all")
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	s := New(0, testCatalog(t))
+	s.Load("a", 1)
+	snap := s.Snapshot()
+	snap["a"] = 99
+	if v, _ := s.Get("a"); v != 1 {
+		t.Error("Snapshot aliases store")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	cat := testCatalog(t)
+	s1, s2 := New(0, cat), New(1, cat)
+	s1.Load("a", 1)
+	s1.Load("c", 3)
+	s2.Load("a", 1)
+	s2.Load("b", 2)
+	s2.Load("c", 30)
+	d := s1.Diff(s2)
+	// b missing in s1, c differs.
+	if len(d) != 2 || d[0] != "b" || d[1] != "c" {
+		t.Errorf("Diff = %v", d)
+	}
+	fd := s1.FragmentDiff(s2, "F2")
+	if len(fd) != 1 || fd[0] != "c" {
+		t.Errorf("FragmentDiff(F2) = %v", fd)
+	}
+	if len(s1.FragmentDiff(s2, "F1")) != 1 {
+		t.Errorf("FragmentDiff(F1) = %v", s1.FragmentDiff(s2, "F1"))
+	}
+	s1.Load("b", 2)
+	s1.Load("c", 30)
+	if len(s1.Diff(s2)) != 0 {
+		t.Errorf("Diff after sync = %v", s1.Diff(s2))
+	}
+}
+
+func TestFragmentSnapshotRoundTrip(t *testing.T) {
+	cat := testCatalog(t)
+	src, dst := New(0, cat), New(1, cat)
+	src.Apply(txn.ID{Seq: 1}, "F1", txn.FragPos{Seq: 4}, []txn.WriteOp{{Object: "a", Value: 11}, {Object: "b", Value: 22}}, 77)
+	src.Load("c", 5) // different fragment: must not travel
+	snap := src.FragmentSnapshot("F1")
+	if len(snap) != 2 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	dst.InstallFragmentSnapshot("F1", snap)
+	if v, _ := dst.Get("a"); v != 11 {
+		t.Errorf("a = %v", v)
+	}
+	if ver, _ := dst.GetVersion("b"); ver.Pos.Seq != 4 || ver.Stamp != 77 {
+		t.Errorf("version metadata lost: %+v", ver)
+	}
+	if _, ok := dst.Get("c"); ok {
+		t.Error("snapshot leaked objects of another fragment")
+	}
+	if len(src.FragmentSnapshot("missing")) != 0 {
+		t.Error("snapshot of unknown fragment nonempty")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New(0, testCatalog(t))
+	s.Load("a", 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Apply(txn.ID{Origin: 0, Seq: uint64(g*100 + i)}, "F1", txn.FragPos{},
+					[]txn.WriteOp{{Object: "a", Value: i}}, 0)
+				s.Get("a")
+				s.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.LSN() != 800 {
+		t.Errorf("LSN = %d, want 800", s.LSN())
+	}
+}

@@ -1,0 +1,117 @@
+package txn
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"fragdb/internal/fragments"
+)
+
+// Property: FragPos.Less is a strict total order consistent with
+// (Epoch, Seq) lexicographic comparison.
+func TestQuickFragPosTotalOrder(t *testing.T) {
+	f := func(e1, s1, e2, s2, e3, s3 uint32) bool {
+		a := FragPos{Epoch: uint64(e1), Seq: uint64(s1)}
+		b := FragPos{Epoch: uint64(e2), Seq: uint64(s2)}
+		c := FragPos{Epoch: uint64(e3), Seq: uint64(s3)}
+		// Irreflexive.
+		if a.Less(a) {
+			return false
+		}
+		// Antisymmetric (for distinct values, exactly one direction).
+		if a != b && a.Less(b) == b.Less(a) {
+			return false
+		}
+		// Transitive.
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false
+		}
+		// Next is strictly greater within the epoch.
+		if !a.Less(a.Next()) || a.Next().Epoch != a.Epoch {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FinalWrites returns exactly one entry per distinct written
+// object, sorted by object, carrying the LAST value written.
+func TestQuickFinalWrites(t *testing.T) {
+	f := func(writes []uint8) bool {
+		tr := &Transaction{}
+		last := map[fragments.ObjectID]any{}
+		for i, w := range writes {
+			obj := fragments.ObjectID(string(rune('a' + w%7)))
+			tr.Ops = append(tr.Ops, Op{Kind: Write, Object: obj, Value: i})
+			last[obj] = i
+			if w%3 == 0 { // interleave reads; they must not affect writes
+				tr.Ops = append(tr.Ops, Op{Kind: Read, Object: obj})
+			}
+		}
+		fw := tr.FinalWrites()
+		if len(fw) != len(last) {
+			return false
+		}
+		if !sort.SliceIsSorted(fw, func(i, j int) bool { return fw[i].Object < fw[j].Object }) {
+			return false
+		}
+		for _, w := range fw {
+			if last[w.Object] != w.Value {
+				return false
+			}
+		}
+		// WriteSet agrees with FinalWrites' objects.
+		ws := tr.WriteSet()
+		if len(ws) != len(fw) {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ReadSet and WriteSet preserve first-occurrence order and
+// contain no duplicates.
+func TestQuickReadWriteSetsNoDuplicates(t *testing.T) {
+	f := func(ops []uint16) bool {
+		tr := &Transaction{}
+		for _, o := range ops {
+			kind := Read
+			if o%2 == 1 {
+				kind = Write
+			}
+			tr.Ops = append(tr.Ops, Op{
+				Kind:   kind,
+				Object: fragments.ObjectID(string(rune('a' + (o>>1)%9))),
+			})
+		}
+		seen := map[fragments.ObjectID]bool{}
+		for _, o := range tr.ReadSet() {
+			if seen[o] {
+				return false
+			}
+			seen[o] = true
+		}
+		seen = map[fragments.ObjectID]bool{}
+		for _, o := range tr.WriteSet() {
+			if seen[o] {
+				return false
+			}
+			seen[o] = true
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package txn defines the transaction vocabulary of the paper's
+// Section 2.2: update transactions, read-only transactions, and
+// quasi-transactions (the groups of unconditional writes shipped to
+// remote replicas instead of re-running a transaction there).
+package txn
+
+import (
+	"fmt"
+	"sort"
+
+	"fragdb/internal/fragments"
+	"fragdb/internal/netsim"
+	"fragdb/internal/simtime"
+)
+
+// ID uniquely identifies a transaction: the node where it executed
+// plus a per-node sequence number.
+type ID struct {
+	Origin netsim.NodeID
+	Seq    uint64
+}
+
+// Zero is the zero transaction ID (no transaction).
+var Zero ID
+
+// String formats the id as "T(N2#7)".
+func (id ID) String() string { return fmt.Sprintf("T(%v#%d)", id.Origin, id.Seq) }
+
+// IsZero reports whether the id is unset.
+func (id ID) IsZero() bool { return id == Zero }
+
+// Less orders ids lexicographically by (origin, seq); used only for
+// deterministic iteration, never for correctness.
+func (id ID) Less(other ID) bool {
+	if id.Origin != other.Origin {
+		return id.Origin < other.Origin
+	}
+	return id.Seq < other.Seq
+}
+
+// OpKind distinguishes reads from writes.
+type OpKind int
+
+// The two kinds of atomic actions in the paper's schedules:
+// (T, r, x) and (T, w, x).
+const (
+	Read OpKind = iota
+	Write
+)
+
+// String returns "r" or "w", matching the paper's notation.
+func (k OpKind) String() string {
+	if k == Read {
+		return "r"
+	}
+	return "w"
+}
+
+// Op is an atomic action on a data object. For writes, Value is the
+// value installed; for reads, Value records the value observed (used by
+// the serializability checkers).
+type Op struct {
+	Kind   OpKind
+	Object fragments.ObjectID
+	Value  any
+}
+
+// String formats the op as the paper's "(r, x)" / "(w, x)" triplet body.
+func (o Op) String() string { return fmt.Sprintf("(%s,%s)", o.Kind, o.Object) }
+
+// WriteOp is one unconditional update inside a quasi-transaction: the
+// pair (d_i, v_i) of the propagation message of Section 2.2.
+type WriteOp struct {
+	Object fragments.ObjectID
+	Value  any
+}
+
+// Transaction is a completed (committed) transaction as recorded at its
+// home node.
+type Transaction struct {
+	ID ID
+	// Agent is the agent that initiated the transaction.
+	Agent fragments.AgentID
+	// Fragment is the fragment the transaction updates. Read-only
+	// transactions leave it empty.
+	Fragment fragments.FragmentID
+	// ReadOnly reports whether the transaction performed no writes.
+	ReadOnly bool
+	// Ops is the full sequence of atomic actions, in execution order.
+	Ops []Op
+	// Start and Commit are the virtual times bracketing execution.
+	Start, Commit simtime.Time
+}
+
+// WriteSet returns the distinct objects written, in first-write order.
+func (t *Transaction) WriteSet() []fragments.ObjectID {
+	seen := make(map[fragments.ObjectID]struct{})
+	var out []fragments.ObjectID
+	for _, op := range t.Ops {
+		if op.Kind != Write {
+			continue
+		}
+		if _, ok := seen[op.Object]; ok {
+			continue
+		}
+		seen[op.Object] = struct{}{}
+		out = append(out, op.Object)
+	}
+	return out
+}
+
+// ReadSet returns the distinct objects read, in first-read order.
+func (t *Transaction) ReadSet() []fragments.ObjectID {
+	seen := make(map[fragments.ObjectID]struct{})
+	var out []fragments.ObjectID
+	for _, op := range t.Ops {
+		if op.Kind != Read {
+			continue
+		}
+		if _, ok := seen[op.Object]; ok {
+			continue
+		}
+		seen[op.Object] = struct{}{}
+		out = append(out, op.Object)
+	}
+	return out
+}
+
+// FinalWrites collapses the transaction's writes to the last value
+// written per object — the (d_i, v_i) list that the home node
+// broadcasts (Section 2.2). Objects appear in sorted order so the
+// resulting quasi-transaction is deterministic.
+func (t *Transaction) FinalWrites() []WriteOp {
+	last := make(map[fragments.ObjectID]any)
+	for _, op := range t.Ops {
+		if op.Kind == Write {
+			last[op.Object] = op.Value
+		}
+	}
+	objs := make([]fragments.ObjectID, 0, len(last))
+	for o := range last {
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	out := make([]WriteOp, len(objs))
+	for i, o := range objs {
+		out[i] = WriteOp{Object: o, Value: last[o]}
+	}
+	return out
+}
+
+// FragPos is a position in a fragment's update stream. The paper
+// requires a "single, uninterrupted sequence of transactions" per
+// fragment (Section 4.4.1), so quasi-transactions are ordered per
+// fragment, not per node. Epoch increments when an agent moves without
+// preparation (Section 4.4.3) and restarts the sequence: positions
+// order lexicographically by (Epoch, Seq), so the new home node's
+// stream supersedes stragglers from the old one.
+type FragPos struct {
+	Epoch uint64
+	Seq   uint64
+}
+
+// Less orders positions by (Epoch, Seq).
+func (p FragPos) Less(other FragPos) bool {
+	if p.Epoch != other.Epoch {
+		return p.Epoch < other.Epoch
+	}
+	return p.Seq < other.Seq
+}
+
+// Next returns the following position in the same epoch.
+func (p FragPos) Next() FragPos { return FragPos{Epoch: p.Epoch, Seq: p.Seq + 1} }
+
+// String formats the position as "e0#4".
+func (p FragPos) String() string { return fmt.Sprintf("e%d#%d", p.Epoch, p.Seq) }
+
+// Quasi is a quasi-transaction: the "write-only transaction, local to
+// the receiving node" spun off from a committed update transaction for
+// update propagation (Section 2.2).
+type Quasi struct {
+	// Txn is the originating transaction's id.
+	Txn ID
+	// Fragment is the fragment the writes belong to.
+	Fragment fragments.FragmentID
+	// Pos is the quasi-transaction's position in the fragment's update
+	// stream.
+	Pos FragPos
+	// Home is the home node that executed the original transaction.
+	Home netsim.NodeID
+	// Writes is the final-value write list.
+	Writes []WriteOp
+	// Stamp is the commit virtual time at the home node (transactions
+	// are timestamped, as assumed in Section 4.4.3).
+	Stamp simtime.Time
+}
+
+// String formats a quasi-transaction compactly.
+func (q Quasi) String() string {
+	return fmt.Sprintf("Q(%v %s %v |w|=%d)", q.Txn, q.Fragment, q.Pos, len(q.Writes))
+}

@@ -1,0 +1,88 @@
+package txn
+
+import (
+	"testing"
+)
+
+func TestIDStringAndOrdering(t *testing.T) {
+	id := ID{Origin: 2, Seq: 7}
+	if id.String() != "T(N2#7)" {
+		t.Errorf("String = %q", id.String())
+	}
+	if Zero.String() == "" || !Zero.IsZero() || id.IsZero() {
+		t.Error("Zero/IsZero wrong")
+	}
+	if !(ID{Origin: 1, Seq: 9}).Less(ID{Origin: 2, Seq: 0}) {
+		t.Error("Less should order by origin first")
+	}
+	if !(ID{Origin: 1, Seq: 1}).Less(ID{Origin: 1, Seq: 2}) {
+		t.Error("Less should order by seq second")
+	}
+	if (ID{Origin: 1, Seq: 2}).Less(ID{Origin: 1, Seq: 2}) {
+		t.Error("Less of equal ids")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if Read.String() != "r" || Write.String() != "w" {
+		t.Error("OpKind strings wrong")
+	}
+	op := Op{Kind: Read, Object: "x"}
+	if op.String() != "(r,x)" {
+		t.Errorf("Op.String = %q", op.String())
+	}
+}
+
+func sampleTxn() *Transaction {
+	return &Transaction{
+		ID: ID{Origin: 0, Seq: 1},
+		Ops: []Op{
+			{Kind: Read, Object: "a", Value: 1},
+			{Kind: Write, Object: "b", Value: 2},
+			{Kind: Read, Object: "a", Value: 1},
+			{Kind: Write, Object: "b", Value: 3},
+			{Kind: Write, Object: "c", Value: 4},
+			{Kind: Read, Object: "c", Value: 4},
+		},
+	}
+}
+
+func TestReadWriteSets(t *testing.T) {
+	tr := sampleTxn()
+	rs := tr.ReadSet()
+	if len(rs) != 2 || rs[0] != "a" || rs[1] != "c" {
+		t.Errorf("ReadSet = %v", rs)
+	}
+	ws := tr.WriteSet()
+	if len(ws) != 2 || ws[0] != "b" || ws[1] != "c" {
+		t.Errorf("WriteSet = %v", ws)
+	}
+}
+
+func TestFinalWritesLastValueWins(t *testing.T) {
+	tr := sampleTxn()
+	fw := tr.FinalWrites()
+	if len(fw) != 2 {
+		t.Fatalf("FinalWrites = %v", fw)
+	}
+	if fw[0].Object != "b" || fw[0].Value != 3 {
+		t.Errorf("final write of b = %+v, want 3 (last value)", fw[0])
+	}
+	if fw[1].Object != "c" || fw[1].Value != 4 {
+		t.Errorf("final write of c = %+v", fw[1])
+	}
+}
+
+func TestFinalWritesEmptyForReadOnly(t *testing.T) {
+	tr := &Transaction{Ops: []Op{{Kind: Read, Object: "x"}}}
+	if len(tr.FinalWrites()) != 0 || len(tr.WriteSet()) != 0 {
+		t.Error("read-only transaction has writes")
+	}
+}
+
+func TestQuasiString(t *testing.T) {
+	q := Quasi{Txn: ID{Origin: 1, Seq: 2}, Fragment: "F", Pos: FragPos{Seq: 3}, Writes: []WriteOp{{Object: "x", Value: 1}}}
+	if q.String() != "Q(T(N1#2) F e0#3 |w|=1)" {
+		t.Errorf("Quasi.String = %q", q.String())
+	}
+}

@@ -1,0 +1,73 @@
+// Package wire provides a gob-based codec for the messages the system
+// exchanges, so experiments can account for real wire sizes (the 1986
+// testbed's point-to-point links are simulated, but the bytes that
+// would cross them are measured from actual encodings, not guesses).
+//
+// The simulated transports pass Go values directly for speed; Size
+// encodes a payload once to measure it, and Encode/Decode round-trip
+// payloads for tests and for any future transport that ships real
+// bytes.
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"fragdb/internal/broadcast"
+	"fragdb/internal/txn"
+)
+
+// envelope wraps payloads so heterogeneous message types decode through
+// a single interface field.
+type envelope struct {
+	P any
+}
+
+var registerOnce sync.Once
+
+// RegisterDefaults registers the exported message types of the protocol
+// stack with gob. Call before Encode/Decode/Size; it is idempotent.
+func RegisterDefaults() {
+	registerOnce.Do(func() {
+		gob.Register(txn.Quasi{})
+		gob.Register(txn.WriteOp{})
+		gob.Register(broadcast.Data{})
+		gob.Register(broadcast.Digest{})
+		gob.Register(int64(0))
+		gob.Register("")
+		gob.Register(true)
+	})
+}
+
+// Encode serializes a payload.
+func Encode(payload any) ([]byte, error) {
+	RegisterDefaults()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(envelope{P: payload}); err != nil {
+		return nil, fmt.Errorf("wire: encode %T: %w", payload, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes a payload produced by Encode.
+func Decode(b []byte) (any, error) {
+	RegisterDefaults()
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("wire: decode: %w", err)
+	}
+	return env.P, nil
+}
+
+// Size reports the encoded size of a payload in bytes, or 0 if the
+// payload is not encodable (unexported message types used only inside
+// the simulation). Suitable for netsim.WithSizeFunc.
+func Size(payload any) int {
+	b, err := Encode(payload)
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}

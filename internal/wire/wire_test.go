@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"fragdb/internal/broadcast"
+	"fragdb/internal/netsim"
+	"fragdb/internal/txn"
+)
+
+func TestQuasiRoundTrip(t *testing.T) {
+	q := txn.Quasi{
+		Txn:      txn.ID{Origin: 2, Seq: 7},
+		Fragment: "BALANCES",
+		Pos:      txn.FragPos{Epoch: 1, Seq: 3},
+		Home:     2,
+		Writes: []txn.WriteOp{
+			{Object: "bal:00001", Value: int64(250)},
+			{Object: "bal:00002", Value: int64(-50)},
+		},
+		Stamp: 12345,
+	}
+	b, err := Encode(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, q) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, q)
+	}
+}
+
+func TestBroadcastDataWithNestedQuasi(t *testing.T) {
+	d := broadcast.Data{
+		Origin: 1, Seq: 9,
+		Payload: txn.Quasi{
+			Txn: txn.ID{Origin: 1, Seq: 9}, Fragment: "F",
+			Writes: []txn.WriteOp{{Object: "x", Value: int64(1)}},
+		},
+	}
+	b, err := Encode(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, d)
+	}
+}
+
+func TestDigestRoundTrip(t *testing.T) {
+	d := broadcast.Digest{Have: map[netsim.NodeID]uint64{0: 3, 2: 9}}
+	b, err := Encode(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Errorf("round trip: got %+v want %+v", got, d)
+	}
+}
+
+func TestSizeGrowsWithPayload(t *testing.T) {
+	small := txn.Quasi{Fragment: "F", Writes: []txn.WriteOp{{Object: "x", Value: int64(1)}}}
+	big := txn.Quasi{Fragment: "F"}
+	for i := 0; i < 50; i++ {
+		big.Writes = append(big.Writes, txn.WriteOp{
+			Object: "some-long-object-name", Value: int64(i),
+		})
+	}
+	ss, bs := Size(small), Size(big)
+	if ss <= 0 || bs <= ss {
+		t.Errorf("sizes: small=%d big=%d", ss, bs)
+	}
+}
+
+func TestSizeOfUnencodableIsZero(t *testing.T) {
+	type private struct{ ch chan int }
+	if got := Size(private{}); got != 0 {
+		t.Errorf("Size of unencodable = %d", got)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not gob")); err == nil {
+		t.Error("garbage decoded")
+	}
+}

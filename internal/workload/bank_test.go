@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fragdb/internal/core"
+	"fragdb/internal/netsim"
+)
+
+func newBank(t *testing.T, seed int64) *Bank {
+	t.Helper()
+	b, err := NewBank(BankConfig{
+		Cluster:     core.Config{N: 3, Seed: seed},
+		CentralNode: 0,
+		Accounts:    []string{"00001", "00002"},
+		CustomerHome: map[string]netsim.NodeID{
+			"00001": 1,
+			"00002": 2,
+		},
+		InitialBalance: 300,
+		OverdraftFine:  50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestDepositFlowsToBalance(t *testing.T) {
+	b := newBank(t, 1)
+	cl := b.Cluster()
+	defer cl.Shutdown()
+	var res core.TxnResult
+	b.Deposit(1, "00001", 150, func(r core.TxnResult) { res = r })
+	if !cl.Settle(20 * time.Second) {
+		t.Fatal("did not settle")
+	}
+	if !res.Committed {
+		t.Fatalf("deposit = %+v", res)
+	}
+	// The central office processed it: recorded balance is 450
+	// everywhere.
+	for i := 0; i < 3; i++ {
+		if got := b.Balance(netsim.NodeID(i), "00001"); got != 450 {
+			t.Errorf("node %d balance = %d, want 450", i, got)
+		}
+	}
+	if err := cl.CheckMutualConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithdrawDeniedOnInsufficientLocalView(t *testing.T) {
+	b := newBank(t, 2)
+	cl := b.Cluster()
+	defer cl.Shutdown()
+	var res core.TxnResult
+	b.Withdraw(1, "00001", 400, func(r core.TxnResult) { res = r })
+	cl.Settle(10 * time.Second)
+	if res.Committed || !errors.Is(res.Err, ErrInsufficientFunds) {
+		t.Fatalf("res = %+v", res)
+	}
+	if got := b.Balance(0, "00001"); got != 300 {
+		t.Errorf("balance = %d", got)
+	}
+}
+
+// TestScenario1 reproduces Section 1's first scenario on the
+// fragments-and-agents system: two $100 withdrawals from a $300 account
+// on opposite sides of a partition. Both are served (availability), and
+// after the heal the central office folds both in with no overdraft.
+func TestScenario1BothServedNoOverdraft(t *testing.T) {
+	b := newBank(t, 3)
+	cl := b.Cluster()
+	defer cl.Shutdown()
+	// Customer 00001's agent can issue at any node it is homed at; to
+	// model "the same customer withdrawing at two locations", move the
+	// agent between ops (commutative fragment: free movement).
+	cl.Net().Partition([]netsim.NodeID{0, 1}, []netsim.NodeID{2})
+	var r1, r2 core.TxnResult
+	b.Withdraw(1, "00001", 100, func(r core.TxnResult) { r1 = r })
+	cl.RunFor(100 * time.Millisecond)
+	if err := b.MoveCustomer("00001", 2); err != nil {
+		t.Fatal(err)
+	}
+	b.Withdraw(2, "00001", 100, func(r core.TxnResult) { r2 = r })
+	cl.RunFor(100 * time.Millisecond)
+	if !r1.Committed || !r2.Committed {
+		t.Fatalf("r1=%+v r2=%+v (both must be served)", r1, r2)
+	}
+	cl.Net().Heal()
+	if !cl.Settle(30 * time.Second) {
+		t.Fatal("did not settle")
+	}
+	if got := b.Balance(0, "00001"); got != 100 {
+		t.Errorf("final balance = %d, want 100", got)
+	}
+	if len(b.Letters()) != 0 {
+		t.Errorf("letters = %+v, want none", b.Letters())
+	}
+	if err := cl.CheckMutualConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScenario2 reproduces Section 1's second scenario: two $200
+// withdrawals from $300. Both are served during the partition (each
+// side's view shows $300); the central office discovers the overdraft,
+// assesses the fine exactly once, and sends one letter — the
+// centralized corrective action of Section 2.
+func TestScenario2OverdraftFinedOnce(t *testing.T) {
+	b := newBank(t, 4)
+	cl := b.Cluster()
+	defer cl.Shutdown()
+	cl.Net().Partition([]netsim.NodeID{0, 1}, []netsim.NodeID{2})
+	var r1, r2 core.TxnResult
+	b.Withdraw(1, "00001", 200, func(r core.TxnResult) { r1 = r })
+	cl.RunFor(100 * time.Millisecond)
+	if err := b.MoveCustomer("00001", 2); err != nil {
+		t.Fatal(err)
+	}
+	b.Withdraw(2, "00001", 200, func(r core.TxnResult) { r2 = r })
+	cl.RunFor(100 * time.Millisecond)
+	if !r1.Committed || !r2.Committed {
+		t.Fatalf("r1=%+v r2=%+v", r1, r2)
+	}
+	cl.Net().Heal()
+	if !cl.Settle(30 * time.Second) {
+		t.Fatal("did not settle")
+	}
+	// 300 - 200 - 200 = -100, fine 50 => -150.
+	if got := b.Balance(2, "00001"); got != -150 {
+		t.Errorf("final balance = %d, want -150", got)
+	}
+	if len(b.Letters()) != 1 {
+		t.Fatalf("letters = %d, want exactly 1 (centralized decision)", len(b.Letters()))
+	}
+	if b.Letters()[0].Account != "00001" || b.Letters()[0].Fine != 50 {
+		t.Errorf("letter = %+v", b.Letters()[0])
+	}
+	if cl.Stats().CorrectiveActions.Load() != 1 {
+		t.Errorf("corrective actions = %d", cl.Stats().CorrectiveActions.Load())
+	}
+	if err := cl.CheckMutualConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalViewTracksUnrecordedActivity(t *testing.T) {
+	b := newBank(t, 5)
+	cl := b.Cluster()
+	defer cl.Shutdown()
+	// Partition the customer's node away from the central office: the
+	// deposit stays unrecorded, but the local view reflects it.
+	cl.Net().Partition([]netsim.NodeID{1}, []netsim.NodeID{0, 2})
+	b.Deposit(1, "00001", 120, nil)
+	cl.RunFor(500 * time.Millisecond)
+	if got := b.Balance(1, "00001"); got != 300 {
+		t.Errorf("recorded balance = %d, want 300 (unprocessed)", got)
+	}
+	if got := b.LocalView(1, "00001"); got != 420 {
+		t.Errorf("local view = %d, want 420", got)
+	}
+	// The central office's view does not include it yet.
+	if got := b.LocalView(0, "00001"); got != 300 {
+		t.Errorf("central local view = %d, want 300", got)
+	}
+	cl.Net().Heal()
+	if !cl.Settle(30 * time.Second) {
+		t.Fatal("did not settle")
+	}
+	// Now recorded everywhere; local view equals balance again.
+	for i := 0; i < 3; i++ {
+		n := netsim.NodeID(i)
+		if b.Balance(n, "00001") != 420 || b.LocalView(n, "00001") != 420 {
+			t.Errorf("node %d: balance=%d view=%d, want 420/420",
+				i, b.Balance(n, "00001"), b.LocalView(n, "00001"))
+		}
+	}
+}
+
+func TestTwoAccountsIndependent(t *testing.T) {
+	b := newBank(t, 6)
+	cl := b.Cluster()
+	defer cl.Shutdown()
+	b.Deposit(1, "00001", 10, nil)
+	b.Withdraw(2, "00002", 20, nil)
+	if !cl.Settle(20 * time.Second) {
+		t.Fatal("did not settle")
+	}
+	if b.Balance(0, "00001") != 310 || b.Balance(0, "00002") != 280 {
+		t.Errorf("balances = %d, %d", b.Balance(0, "00001"), b.Balance(0, "00002"))
+	}
+	if err := cl.Recorder().CheckFragmentwise(); err != nil {
+		t.Errorf("fragmentwise: %v", err)
+	}
+}
+
+func TestCustomerMovesFreelyDuringPartition(t *testing.T) {
+	// The commutative-fragment property: a customer hops across three
+	// nodes (including across partition boundaries) and every operation
+	// is eventually folded in exactly once.
+	b := newBank(t, 7)
+	cl := b.Cluster()
+	defer cl.Shutdown()
+	cl.Net().Partition([]netsim.NodeID{0}, []netsim.NodeID{1}, []netsim.NodeID{2})
+	b.Deposit(1, "00001", 10, nil)
+	cl.RunFor(50 * time.Millisecond)
+	b.MoveCustomer("00001", 2)
+	b.Deposit(2, "00001", 20, nil)
+	cl.RunFor(50 * time.Millisecond)
+	b.MoveCustomer("00001", 0)
+	b.Deposit(0, "00001", 30, nil)
+	cl.RunFor(50 * time.Millisecond)
+	cl.Net().Heal()
+	if !cl.Settle(30 * time.Second) {
+		t.Fatal("did not settle")
+	}
+	if got := b.Balance(1, "00001"); got != 360 {
+		t.Errorf("balance = %d, want 360", got)
+	}
+	if err := cl.CheckMutualConsistency(); err != nil {
+		t.Error(err)
+	}
+}

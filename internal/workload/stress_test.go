@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fragdb/internal/core"
+	"fragdb/internal/history"
+	"fragdb/internal/netsim"
+	"fragdb/internal/simtime"
+)
+
+// TestBankManyAccountsUnderChurn: ten accounts with customers spread
+// over four nodes, mixed deposits/withdrawals, a customer relocation,
+// and a partition episode. Every account's final balance must equal its
+// op history, every fine must trace to a real overdraft, and all
+// replicas must agree.
+func TestBankManyAccountsUnderChurn(t *testing.T) {
+	const nAccounts = 10
+	accounts := make([]string, nAccounts)
+	homes := make(map[string]netsim.NodeID, nAccounts)
+	for i := range accounts {
+		accounts[i] = fmt.Sprintf("%05d", i+1)
+		homes[accounts[i]] = netsim.NodeID(1 + i%3) // nodes 1..3
+	}
+	b, err := NewBank(BankConfig{
+		Cluster:        core.Config{N: 4, Seed: 71},
+		CentralNode:    0,
+		Accounts:       accounts,
+		CustomerHome:   homes,
+		InitialBalance: 100,
+		OverdraftFine:  25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := b.Cluster()
+	defer cl.Shutdown()
+
+	// Expected net flow per account, ignoring fines (all ops here keep
+	// balances non-negative against the TRUE history, so no fines are
+	// expected: deposits strictly precede the withdrawals they fund).
+	expected := make(map[string]int64, nAccounts)
+	for i, acct := range accounts {
+		expected[acct] = 100
+		node := homes[acct]
+		acct := acct
+		dep := int64(10 * (i%3 + 1))
+		cl.Sched().At(simtime.Time(time.Duration(10+i*20)*time.Millisecond), func() {
+			b.Deposit(node, acct, dep, nil)
+		})
+		expected[acct] += dep
+		wd := int64(30)
+		wdNode := node
+		if i == 0 {
+			wdNode = 2 // customer 0 will have moved to node 2 by then
+		}
+		cl.Sched().At(simtime.Time(time.Duration(600+i*20)*time.Millisecond), func() {
+			b.Withdraw(wdNode, acct, wd, nil)
+		})
+		expected[acct] -= wd
+	}
+	// One customer moves mid-run (commutative fragment: free move).
+	cl.Sched().At(simtime.Time(400*time.Millisecond), func() {
+		b.MoveCustomer(accounts[0], 2)
+	})
+	cl.Net().ScheduleSplit(simtime.Time(200*time.Millisecond),
+		[]netsim.NodeID{0, 1}, []netsim.NodeID{2, 3})
+	cl.Net().ScheduleHeal(simtime.Time(800 * time.Millisecond))
+	cl.RunFor(1200 * time.Millisecond)
+	if !cl.Settle(2 * time.Minute) {
+		t.Fatal("did not settle")
+	}
+	for _, acct := range accounts {
+		if got := b.Balance(0, acct); got != expected[acct] {
+			t.Errorf("account %s balance = %d, want %d", acct, got, expected[acct])
+		}
+	}
+	if len(b.Letters()) != 0 {
+		t.Errorf("unexpected fines: %+v", b.Letters())
+	}
+	if err := cl.CheckMutualConsistency(); err != nil {
+		t.Error(err)
+	}
+	if err := cl.Recorder().CheckFragmentwise(); err != nil {
+		t.Errorf("fragmentwise: %v", err)
+	}
+	if err := cl.Recorder().CheckLocalGraphs(); err != nil {
+		t.Errorf("local graphs: %v", err)
+	}
+}
+
+// TestAirlineManyCustomersCapacityExact: eight customers race for a
+// 10-seat flight with requests of 2 seats each (16 requested) from
+// partitioned nodes; after the heal and a scan, exactly 10 seats are
+// granted and 3 customers are refused.
+func TestAirlineManyCustomersCapacityExact(t *testing.T) {
+	customers := make([]string, 8)
+	custHomes := make(map[string]netsim.NodeID, 8)
+	for i := range customers {
+		customers[i] = fmt.Sprintf("c%d", i)
+		custHomes[customers[i]] = netsim.NodeID(1 + i%3)
+	}
+	a, err := NewAirline(AirlineConfig{
+		Cluster:      core.Config{N: 4, Seed: 73},
+		Flights:      map[string]int64{"FL": 10},
+		FlightHome:   map[string]netsim.NodeID{"FL": 0},
+		Customers:    customers,
+		CustomerHome: custHomes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := a.Cluster()
+	defer cl.Shutdown()
+	cl.Net().Partition([]netsim.NodeID{0}, []netsim.NodeID{1}, []netsim.NodeID{2}, []netsim.NodeID{3})
+	for _, c := range customers {
+		a.Request(custHomes[c], c, "FL", 2, nil)
+	}
+	cl.RunFor(500 * time.Millisecond)
+	cl.Net().Heal()
+	if !cl.Settle(time.Minute) {
+		t.Fatal("settle")
+	}
+	a.Scan("FL", nil)
+	if !cl.Settle(time.Minute) {
+		t.Fatal("settle 2")
+	}
+	booked := a.Booked(0, "FL")
+	if booked != 10 {
+		t.Fatalf("booked = %d, want exactly capacity 10", booked)
+	}
+	granted := 0
+	for _, c := range customers {
+		if a.Seats(0, c, "FL") == 2 {
+			granted++
+		}
+	}
+	if granted != 5 || a.Refused != 3 {
+		t.Errorf("granted=%d refused=%d, want 5/3", granted, a.Refused)
+	}
+	if err := cl.Recorder().CheckFragmentwise(); err != nil {
+		t.Errorf("fragmentwise: %v", err)
+	}
+	if err := cl.CheckMutualConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWarehouseManyProductsPlanConsistency: plans computed over many
+// products always reflect a consistent cut of the warehouse fragments
+// (the §4.2 guarantee), verified by replaying the plan against the
+// serializable history.
+func TestWarehouseManyProductsPlanConsistency(t *testing.T) {
+	products := []string{"p1", "p2", "p3", "p4", "p5"}
+	w, err := NewWarehouse(WarehouseConfig{
+		Cluster:      core.Config{N: 4, Seed: 79},
+		Warehouses:   3,
+		Products:     products,
+		InitialStock: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := w.Cluster()
+	defer cl.Shutdown()
+	for round := 0; round < 5; round++ {
+		at := simtime.Time(time.Duration(round*80) * time.Millisecond)
+		cl.Sched().At(at, func() {
+			for i := 1; i <= 3; i++ {
+				for _, p := range products {
+					w.Sell(i, p, 1, nil)
+				}
+			}
+		})
+	}
+	cl.Sched().At(simtime.Time(150*time.Millisecond), func() { w.Plan(500, nil) })
+	cl.Net().ScheduleSplit(simtime.Time(100*time.Millisecond),
+		[]netsim.NodeID{0, 1}, []netsim.NodeID{2, 3})
+	cl.Net().ScheduleHeal(simtime.Time(300 * time.Millisecond))
+	cl.RunFor(600 * time.Millisecond)
+	if !cl.Settle(2 * time.Minute) {
+		t.Fatal("settle")
+	}
+	// Final stocks: 50 - 5 = 45 per product per warehouse.
+	for i := 1; i <= 3; i++ {
+		for _, p := range products {
+			if got := w.Stock(0, i, p); got != 45 {
+				t.Errorf("stock[%d][%s] = %d, want 45", i, p, got)
+			}
+		}
+	}
+	if err := cl.Recorder().CheckGlobal(history.Options{}); err != nil {
+		t.Errorf("global serializability: %v", err)
+	}
+	if err := cl.CheckMutualConsistency(); err != nil {
+		t.Error(err)
+	}
+}

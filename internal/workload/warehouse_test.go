@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"fragdb/internal/core"
+	"fragdb/internal/history"
+	"fragdb/internal/netsim"
+	"fragdb/internal/simtime"
+)
+
+func newWarehouse(t *testing.T, seed int64) *Warehouse {
+	t.Helper()
+	w, err := NewWarehouse(WarehouseConfig{
+		Cluster:      core.Config{N: 4, Seed: seed},
+		Warehouses:   3,
+		Products:     []string{"widgets", "gadgets"},
+		InitialStock: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestSellReceivePlan(t *testing.T) {
+	w := newWarehouse(t, 1)
+	cl := w.Cluster()
+	defer cl.Shutdown()
+	w.Sell(1, "widgets", 30, nil)
+	w.Receive(2, "widgets", 10, nil)
+	if !cl.Settle(20 * time.Second) {
+		t.Fatal("settle")
+	}
+	// Stocks: w1=70, w2=110, w3=100 => 280. Reorder up to 400 => 120.
+	w.Plan(400, nil)
+	if !cl.Settle(20 * time.Second) {
+		t.Fatal("settle 2")
+	}
+	if got := w.PlanFor(3, "widgets"); got != 120 {
+		t.Errorf("plan = %d, want 120", got)
+	}
+	if got := w.PlanFor(3, "gadgets"); got != 100 {
+		t.Errorf("gadgets plan = %d, want 100", got)
+	}
+}
+
+func TestSellRefusedWhenOutOfStock(t *testing.T) {
+	w := newWarehouse(t, 2)
+	cl := w.Cluster()
+	defer cl.Shutdown()
+	var res core.TxnResult
+	w.Sell(1, "widgets", 500, func(r core.TxnResult) { res = r })
+	cl.Settle(10 * time.Second)
+	if res.Committed {
+		t.Error("oversell committed")
+	}
+	if w.Stock(0, 1, "widgets") != 100 {
+		t.Errorf("stock = %d", w.Stock(0, 1, "widgets"))
+	}
+}
+
+// TestWarehousesAvailableDuringPartitionGloballySerializable is
+// experiment E5's core claim: sales continue at partitioned warehouses,
+// the central office's scans never see an inconsistent view, and the
+// entire history is globally serializable with zero read locks.
+func TestWarehousesAvailableDuringPartitionGloballySerializable(t *testing.T) {
+	w := newWarehouse(t, 3)
+	cl := w.Cluster()
+	defer cl.Shutdown()
+	// Steady stream of sales at each warehouse, plans at the center,
+	// across a partition isolating warehouses 2 and 3.
+	for round := 0; round < 6; round++ {
+		at := simtime.Time(time.Duration(round*60) * time.Millisecond)
+		cl.Sched().At(at, func() {
+			for i := 1; i <= 3; i++ {
+				w.Sell(i, "widgets", 5, nil)
+			}
+		})
+		cl.Sched().At(at+simtime.Time(30*time.Millisecond), func() {
+			w.Plan(500, nil)
+		})
+	}
+	cl.Net().ScheduleSplit(simtime.Time(100*time.Millisecond),
+		[]netsim.NodeID{0, 1}, []netsim.NodeID{2, 3})
+	cl.Net().ScheduleHeal(simtime.Time(300 * time.Millisecond))
+	cl.RunFor(500 * time.Millisecond)
+	if !cl.Settle(30 * time.Second) {
+		t.Fatal("settle")
+	}
+	// All 18 sales and 6 plans committed.
+	if got := cl.Stats().Committed.Load(); got != 24 {
+		t.Errorf("committed = %d, want 24", got)
+	}
+	if err := cl.Recorder().CheckGlobal(history.Options{}); err != nil {
+		t.Errorf("global serializability: %v", err)
+	}
+	if err := cl.CheckMutualConsistency(); err != nil {
+		t.Error(err)
+	}
+	// Final stock: 100 - 30 = 70 each.
+	for i := 1; i <= 3; i++ {
+		if got := w.Stock(0, i, "widgets"); got != 70 {
+			t.Errorf("warehouse %d stock = %d, want 70", i, got)
+		}
+	}
+	// The observed read pattern stayed within the declared star.
+	if !cl.Recorder().ObservedRAG().ElementarilyAcyclic() {
+		t.Error("observed RAG not elementarily acyclic")
+	}
+}
+
+func TestWarehouseNeedsEnoughNodes(t *testing.T) {
+	_, err := NewWarehouse(WarehouseConfig{
+		Cluster:    core.Config{N: 2, Seed: 1},
+		Warehouses: 3,
+		Products:   []string{"x"},
+	})
+	if err == nil {
+		t.Error("undersized cluster accepted")
+	}
+}
+
+// TestCrossWarehouseReadOnlyExempt: the Section 4.2 allowance — a
+// read-only check of another warehouse's stock succeeds even though no
+// read-access edge W1 -> W2 is declared, while an UPDATE transaction
+// attempting the same read is refused.
+func TestCrossWarehouseReadOnlyExempt(t *testing.T) {
+	w := newWarehouse(t, 9)
+	cl := w.Cluster()
+	defer cl.Shutdown()
+	var got int64
+	var gerr error
+	w.CheckOtherStock(1, 2, "widgets", func(v int64, err error) { got, gerr = v, err })
+	cl.Settle(10 * time.Second)
+	if gerr != nil || got != 100 {
+		t.Fatalf("cross-warehouse check: %d, %v", got, gerr)
+	}
+	// The same read inside an update transaction violates the declared
+	// graph and is refused.
+	var res core.TxnResult
+	cl.Node(1).Submit(core.TxnSpec{
+		Agent: WarehouseAgent(1), Fragment: WarehouseFragment(1),
+		Program: func(tx *core.Tx) error {
+			_, err := tx.Read("stock:2:widgets")
+			if err != nil {
+				return err
+			}
+			return tx.Write("stock:1:widgets", int64(0))
+		},
+	}, func(r core.TxnResult) { res = r })
+	cl.Settle(10 * time.Second)
+	if res.Committed {
+		t.Error("undeclared cross-warehouse read committed in an update transaction")
+	}
+}
