@@ -1,0 +1,83 @@
+// Package examples_test smoke-tests the example programs: every one
+// must vet and build, and the fast ones must actually run to completion
+// and print their closing verification line. The examples double as the
+// repo's user-facing documentation, so a broken one is a broken doc.
+package examples_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// repoRoot locates the module root from this test file's location.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate test source file")
+	}
+	return filepath.Dir(filepath.Dir(file))
+}
+
+var allExamples = []string{
+	"airline", "banking", "failover", "mixed", "quickstart", "warehouse",
+}
+
+// TestExamplesVetAndBuild gates every example on go vet + go build.
+func TestExamplesVetAndBuild(t *testing.T) {
+	root := repoRoot(t)
+	for _, name := range allExamples {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for _, tool := range []string{"vet", "build"} {
+				args := []string{tool, "./examples/" + name}
+				if tool == "build" {
+					args = []string{"build", "-o", filepath.Join(t.TempDir(), name), "./examples/" + name}
+				}
+				cmd := exec.Command("go", args...)
+				cmd.Dir = root
+				if out, err := cmd.CombinedOutput(); err != nil {
+					t.Fatalf("go %s ./examples/%s: %v\n%s", tool, name, err, out)
+				}
+			}
+		})
+	}
+}
+
+// TestExamplesRun executes the quick examples as subprocesses and
+// asserts exit status 0 plus the closing verification line — the
+// golden substring each program prints only after its invariant checks
+// passed.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess runs skipped in -short mode")
+	}
+	root := repoRoot(t)
+	cases := []struct {
+		name   string
+		golden string
+	}{
+		{"quickstart", "verified: mutual consistency and fragmentwise serializability hold"},
+		{"failover", "verified: fragmentwise serializability held throughout"},
+		{"mixed", "verified: per-fragment replicas consistent; fragmentwise serializability holds"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+tc.name)
+			cmd.Dir = root
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", tc.name, err, out)
+			}
+			if !strings.Contains(string(out), tc.golden) {
+				t.Fatalf("examples/%s output missing %q:\n%s", tc.name, tc.golden, out)
+			}
+		})
+	}
+}

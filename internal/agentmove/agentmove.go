@@ -91,6 +91,10 @@ func MoveWithData(cl *core.Cluster, agent fragments.AgentID, to netsim.NodeID,
 	poss := make(map[fragments.FragmentID]txn.FragPos, len(fs))
 	for _, f := range fs {
 		src.SetMoveBlocked(f, true)
+		// In-flight transactions must not commit after the snapshot is
+		// taken: their updates would be missing from the transported copy
+		// yet claim the stream positions the new home continues from.
+		src.FenceMoving(f)
 		snaps[f] = src.Store().FragmentSnapshot(f)
 		poss[f] = src.StreamPos(f)
 	}
@@ -128,6 +132,10 @@ func MoveWithSeq(cl *core.Cluster, agent fragments.AgentID, to netsim.NodeID,
 	poss := make(map[fragments.FragmentID]txn.FragPos, len(fs))
 	for _, f := range fs {
 		src.SetMoveBlocked(f, true)
+		// The carried sequence number is the stream position at move
+		// start; fence in-flight transactions so nothing commits beyond
+		// it at the old home once the new home takes over.
+		src.FenceMoving(f)
 		poss[f] = src.StreamPos(f)
 	}
 	remaining := len(fs)
@@ -217,6 +225,12 @@ func MoveMajority(cl *core.Cluster, agent fragments.AgentID, to netsim.NodeID,
 	src, dst := cl.Node(from), cl.Node(to)
 	for _, f := range fs {
 		src.SetMoveBlocked(f, true)
+		// The majority reconstruction bounds only committed transactions;
+		// an in-flight transaction still assembling its majority would
+		// otherwise commit later, colliding with the sequence numbers the
+		// new home hands out. Fencing it also broadcasts the abort of its
+		// prepared quasi-transaction.
+		src.FenceMoving(f)
 	}
 	majority := cl.Config().N/2 + 1
 	remaining := len(fs)

@@ -90,6 +90,11 @@ func TestMoveWithSeqWaitsForStream(t *testing.T) {
 	cl.Net().Partition([]netsim.NodeID{0, 1}, []netsim.NodeID{2})
 	submitInc(cl, 0, "x")
 	cl.RunFor(100 * time.Millisecond)
+	// Vacuity guard: the destination must genuinely be behind the source
+	// stream at move time, or "the move waits" below asserts nothing.
+	if src, dst := cl.Node(0).StreamPos("F"), cl.Node(2).StreamPos("F"); !dst.Less(src) {
+		t.Fatalf("partition inactive: dst stream %v not behind src %v (test vacuous)", dst, src)
+	}
 
 	var res Result
 	gotResult := false
@@ -192,6 +197,11 @@ func TestMoveMajorityReconstructsStream(t *testing.T) {
 	cl.RunFor(5 * time.Second)
 	if !res.Completed {
 		t.Fatalf("majority move failed: %+v", res)
+	}
+	// Vacuity guard: the crashed old home must actually have lost traffic
+	// during the move, or reconstruction was never exercised.
+	if cl.Net().Stats().DroppedNode == 0 {
+		t.Fatal("crash model inactive: no message was dropped at the down node (test vacuous)")
 	}
 	// The new home has the full stream and continues it.
 	if pos := cl.Node(1).StreamPos("F"); pos.Seq != 2 {

@@ -1,0 +1,218 @@
+package chaoskit
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fragdb/internal/core"
+	"fragdb/internal/metrics"
+	"fragdb/internal/netsim"
+)
+
+// -chaoskit.seeds raises the per-profile seed count of TestSweep for
+// long soak runs (go test ./internal/chaoskit -chaoskit.seeds=256).
+var seedsFlag = flag.Int("chaoskit.seeds", 16, "seeds per profile in TestSweep")
+
+// TestSweep is the main acceptance gate: 16 seeds x 4 option groups =
+// 64 deterministic plans by default (4 x 4 in -short), every one
+// audited against its option's invariant ladder.
+func TestSweep(t *testing.T) {
+	perProfile := *seedsFlag
+	if testing.Short() {
+		perProfile = 4
+	}
+	chaos := &metrics.Chaos{}
+	res := Sweep(Profiles(), 1, perProfile, SweepOpts{
+		Workers: 4,
+		Chaos:   chaos,
+	})
+	if got, want := len(res.Reports), 4*perProfile; got != want {
+		t.Fatalf("executed %d plans, want %d", got, want)
+	}
+	for _, rep := range res.Failures() {
+		t.Errorf("invariant failure: %s", rep.String())
+		for _, c := range rep.Failures() {
+			t.Errorf("  %s: %v", c.Name, c.Err)
+		}
+	}
+	// The sweep must exercise the machinery it claims to: transactions
+	// commit, faults fire, agents move (the moving profile exists).
+	if chaos.TxnsCommitted.Load() == 0 {
+		t.Error("sweep committed no transactions (vacuous)")
+	}
+	if chaos.FaultsInjected.Load() == 0 {
+		t.Error("sweep injected no faults (vacuous)")
+	}
+	if chaos.MovesScheduled.Load() == 0 {
+		t.Error("sweep scheduled no agent moves (vacuous)")
+	}
+	t.Logf("sweep: %s", chaos.String())
+}
+
+// TestBankSweep runs the banking workload profile: conservation of
+// money (balances = initial + committed activity - fines) under
+// partitions and customer moves.
+func TestBankSweep(t *testing.T) {
+	perProfile := 8
+	if testing.Short() {
+		perProfile = 3
+	}
+	chaos := &metrics.Chaos{}
+	res := Sweep([]Profile{BankProfile()}, 1, perProfile, SweepOpts{Workers: 2, Chaos: chaos})
+	for _, rep := range res.Failures() {
+		t.Errorf("bank failure: %s", rep.String())
+		for _, c := range rep.Failures() {
+			t.Errorf("  %s: %v", c.Name, c.Err)
+		}
+	}
+	if chaos.TxnsCommitted.Load() == 0 {
+		t.Error("bank sweep committed no transactions (vacuous)")
+	}
+}
+
+// TestPlanDeterminism: the same (seed, profile) must regenerate the
+// identical plan, and distinct seeds must not collapse to one plan.
+func TestPlanDeterminism(t *testing.T) {
+	for _, pr := range append(Profiles(), BankProfile()) {
+		a := Generate(7, pr)
+		b := Generate(7, pr)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("profile %s: seed 7 regenerated differently", pr.Name)
+		}
+		c := Generate(8, pr)
+		if reflect.DeepEqual(a, c) {
+			t.Errorf("profile %s: seeds 7 and 8 generated identical plans", pr.Name)
+		}
+	}
+}
+
+// TestExecutionDeterminism: re-executing a plan must reproduce the
+// identical audit outcome and transaction counts.
+func TestExecutionDeterminism(t *testing.T) {
+	for _, pr := range Profiles() {
+		pr := pr
+		t.Run(pr.Name, func(t *testing.T) {
+			t.Parallel()
+			p := Generate(3, pr)
+			first := Execute(p, RunOpts{})
+			if !ReplaySame(p, RunOpts{}, first) {
+				t.Fatalf("profile %s seed 3: replay diverged from first execution", pr.Name)
+			}
+		})
+	}
+}
+
+// TestSabotageCaughtAndShrunk proves the harness can actually fail: a
+// test double corrupts one replica after settle, the auditor must
+// catch the broken invariant, and the shrinker must produce a strictly
+// smaller plan that still fails, emitting a reproducer bundle.
+func TestSabotageCaughtAndShrunk(t *testing.T) {
+	pr, ok := ProfileByName("unrestricted")
+	if !ok {
+		t.Fatal("unrestricted profile missing")
+	}
+	sabotage := func(cl *core.Cluster, p Plan) {
+		// Overwrite one replica's counter outside any transaction:
+		// deterministic mutual-consistency violation.
+		if err := cl.Node(netsim.NodeID(p.N-1)).Store().Load(ctrObj(0), int64(987654)); err != nil {
+			t.Errorf("sabotage failed: %v", err)
+		}
+	}
+	opts := RunOpts{Sabotage: sabotage, Chaos: &metrics.Chaos{}}
+
+	p := Generate(5, pr)
+	rep := Execute(p, opts)
+	if !rep.Failed() {
+		t.Fatal("auditor missed the sabotaged replica")
+	}
+	var names []string
+	for _, c := range rep.Failures() {
+		names = append(names, c.Name)
+	}
+	if !strings.Contains(strings.Join(names, ","), "mutual-consistency") {
+		t.Fatalf("expected mutual-consistency failure, got %v", names)
+	}
+	if rep.DOT == "" {
+		t.Error("failing report carries no serialization-graph DOT dump")
+	}
+
+	sr := Shrink(p, opts, 120)
+	if !sr.MinimalReport.Failed() {
+		t.Fatal("shrunk plan no longer fails")
+	}
+	if sr.Minimal.Size() >= sr.Original.Size() {
+		t.Errorf("shrinker made no progress: size %d -> %d", sr.Original.Size(), sr.Minimal.Size())
+	}
+	if opts.Chaos.ShrinkAccepted.Load() == 0 {
+		t.Error("shrink accepted no reductions")
+	}
+
+	dir := t.TempDir()
+	path, err := WriteRepro(dir, sr)
+	if err != nil {
+		t.Fatalf("WriteRepro: %v", err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading repro: %v", err)
+	}
+	if !strings.Contains(string(blob), "chaoskit.Plan{") {
+		t.Errorf("repro plan file is not a Go literal:\n%s", blob)
+	}
+	if _, err := os.Stat(filepath.Join(dir, filepath.Base(strings.TrimSuffix(path, ".plan.go.txt"))+".report.txt")); err != nil {
+		t.Errorf("repro report missing: %v", err)
+	}
+}
+
+// TestAcyclicProfileGeneratesForests: every acyclic-profile plan must
+// declare an elementarily acyclic read-access graph, or the engine
+// would reject it at Start.
+func TestAcyclicProfileGeneratesForests(t *testing.T) {
+	pr, _ := ProfileByName("acyclic")
+	for seed := int64(1); seed <= 50; seed++ {
+		p := Generate(seed, pr)
+		undirected := make(map[[2]int]bool)
+		for _, e := range p.ReadEdges {
+			a, b := e[0], e[1]
+			if a > b {
+				a, b = b, a
+			}
+			if undirected[[2]int{a, b}] {
+				t.Fatalf("seed %d: duplicate/antiparallel edge %v", seed, e)
+			}
+			undirected[[2]int{a, b}] = true
+		}
+		if len(undirected) >= p.Frags {
+			t.Fatalf("seed %d: %d undirected edges over %d fragments cannot be a forest",
+				seed, len(undirected), p.Frags)
+		}
+	}
+}
+
+// TestProfileByName covers the lookup used by cmd/hachaos flags.
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"readlocks", "acyclic", "unrestricted", "moving", "bank"} {
+		pr, ok := ProfileByName(name)
+		if !ok || pr.Name != name {
+			t.Errorf("ProfileByName(%q) = %+v, %v", name, pr, ok)
+		}
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Error("ProfileByName accepted an unknown name")
+	}
+}
+
+// TestGoLiteralShape sanity-checks the repro renderer.
+func TestGoLiteralShape(t *testing.T) {
+	p := Generate(2, Profiles()[3]) // moving profile: richest literal
+	lit := p.GoLiteral()
+	for _, want := range []string{"chaoskit.Plan{", "Seed:    2", "Horizon:", "Steps: []chaoskit.Step{"} {
+		if !strings.Contains(lit, want) {
+			t.Errorf("literal missing %q:\n%s", want, lit)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package chaoskit
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzChaosPlan lets the native fuzzer drive seed and profile choice:
+// every generated plan must regenerate identically, execute without
+// panicking, and satisfy its option's invariant ladder. CI runs this
+// briefly (-fuzz=FuzzChaosPlan -fuzztime=20s); the seed corpus doubles
+// as a plain test otherwise.
+func FuzzChaosPlan(f *testing.F) {
+	f.Add(int64(1), byte(0))
+	f.Add(int64(2), byte(1))
+	f.Add(int64(3), byte(2))
+	f.Add(int64(4), byte(3))
+	f.Add(int64(-9000), byte(4)) // wraps to a profile; negative seed
+	profiles := Profiles()
+	f.Fuzz(func(t *testing.T, seed int64, profileIdx byte) {
+		pr := profiles[int(profileIdx)%len(profiles)]
+		// Keep fuzz iterations brisk: smaller workloads than the sweep.
+		pr.MinSteps, pr.MaxSteps = 4, 10
+		pr.MaxFaults = 2
+
+		p := Generate(seed, pr)
+		if again := Generate(seed, pr); !reflect.DeepEqual(p, again) {
+			t.Fatalf("seed %d/%s: plan regeneration diverged", seed, pr.Name)
+		}
+		rep := Execute(p, RunOpts{})
+		if rep.Failed() {
+			for _, c := range rep.Failures() {
+				t.Errorf("%s: %v", c.Name, c.Err)
+			}
+			t.Fatalf("invariant failure for seed %d profile %s:\n%s\nplan:\n%s",
+				seed, pr.Name, rep.String(), p.GoLiteral())
+		}
+	})
+}

@@ -490,6 +490,46 @@ func (cl *Cluster) Shutdown() {
 	}
 }
 
+// RestartAll heals every link and restarts every crashed node through
+// the crash-recovery path (volatile state rebuilt from the WAL and the
+// broadcast journal). Scenario drivers call it before Settle so that a
+// fault schedule, however hostile, always ends in a fully repaired
+// network — the precondition of the convergence guarantees.
+func (cl *Cluster) RestartAll() {
+	cl.net.Heal()
+	for _, n := range cl.nodes {
+		if cl.net.NodeDown(n.id) {
+			n.SimulateCrashRestart()
+			cl.net.SetNodeDown(n.id, false)
+		}
+	}
+}
+
+// ActiveTxnCount reports how many transactions are currently executing
+// across all nodes. Nonzero after a generous Settle means wedged
+// transactions — a liveness failure a chaos auditor wants to name
+// precisely rather than fold into "did not converge".
+func (cl *Cluster) ActiveTxnCount() int {
+	total := 0
+	for _, n := range cl.nodes {
+		total += len(n.active)
+	}
+	return total
+}
+
+// BufferedQuasiCount reports quasi-transactions buffered out-of-order
+// (or awaiting a majority-commit decision) across all nodes. Nonzero
+// after Settle means the propagation machinery wedged.
+func (cl *Cluster) BufferedQuasiCount() int {
+	total := 0
+	for _, n := range cl.nodes {
+		for _, st := range n.streams {
+			total += len(st.pending) + len(st.prepared)
+		}
+	}
+	return total
+}
+
 // CheckMutualConsistency verifies that, fragment by fragment, every
 // replica holds an identical copy. Call after Settle.
 func (cl *Cluster) CheckMutualConsistency() error {

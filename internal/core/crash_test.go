@@ -30,6 +30,9 @@ func TestCrashedNodeCatchesUpOnRestart(t *testing.T) {
 	if v, _ := cl.Node(2).Store().Get("F0/a"); v != int64(0) {
 		t.Fatalf("down node received updates: %v", v)
 	}
+	if cl.Net().Stats().DroppedNode == 0 {
+		t.Fatal("crash model inactive: no message was dropped at the down node (test vacuous)")
+	}
 	cl.Net().SetNodeDown(2, false)
 	if !cl.Settle(30 * time.Second) {
 		t.Fatal("did not settle after restart")
@@ -77,6 +80,9 @@ func TestAgentHomeCrashStallsFragmentOnly(t *testing.T) {
 	cl.RunFor(time.Second)
 	if !rr.Committed || got != 0 {
 		t.Errorf("read of crashed agent's fragment: %+v %d", rr, got)
+	}
+	if cl.Net().Stats().DroppedNode == 0 {
+		t.Fatal("crash model inactive: no message was dropped at the down node (test vacuous)")
 	}
 	cl.Net().SetNodeDown(1, false)
 	if !cl.Settle(30 * time.Second) {

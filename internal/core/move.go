@@ -22,6 +22,24 @@ func (n *Node) SetMoveBlocked(f fragments.FragmentID, blocked bool) {
 	n.stream(f).moveBlocked = blocked
 }
 
+// FenceMoving aborts every in-flight update transaction of fragment f
+// at this node with ErrAgentMoving. The departing home node calls it
+// at the start of a prepared move (after SetMoveBlocked), because a
+// transaction that has not committed by then must never commit here:
+// its sequence number would collide with the stream the new home takes
+// over — the with-data snapshot and the carried sequence number capture
+// the stream position at move start, and the majority reconstruction
+// bounds only transactions already committed. For a transaction still
+// awaiting majority acknowledgments, the abort also broadcasts the
+// command discarding its prepared quasi-transaction at remote nodes.
+func (n *Node) FenceMoving(f fragments.FragmentID) {
+	for _, t := range n.activeSnapshot() {
+		if t.spec.Fragment == f && !t.finalizedFlag {
+			n.abortBlocked(t, ErrAgentMoving)
+		}
+	}
+}
+
 // InstallSnapshot installs a fragment snapshot transported out-of-band
 // with the agent (move-with-data, Section 4.4.2A: the agent carries "a
 // copy of the fragment stored at X ... in place of the copy of the

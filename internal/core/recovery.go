@@ -83,6 +83,16 @@ func (n *Node) SimulateCrashRestart() {
 		st.forwardTo = old.forwardTo
 		st.oldEpoch = old.oldEpoch
 		st.oldInstalled = old.oldInstalled
+		// An epoch switch is durable — the M0 announcement that caused it
+		// sits in the broadcast journal — but the WAL records it only once
+		// a new-epoch transaction commits. A node that crashed between the
+		// switch and the first new-epoch commit must come back in the new
+		// epoch: falling back to the old-epoch high-water mark would make
+		// a new home reuse old-epoch sequence numbers that every other
+		// node has already moved past (and discards as stale).
+		if st.last.Epoch < old.last.Epoch {
+			st.last = txn.FragPos{Epoch: old.last.Epoch, Seq: 0}
+		}
 	}
 
 	// Replay the broadcast journal through the normal delivery path to

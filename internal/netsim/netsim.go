@@ -329,6 +329,14 @@ func (nw *Network) ScheduleHeal(t simtime.Time) {
 	nw.sched.At(t, func() { nw.Heal() })
 }
 
+// ScheduleNodeDown schedules a SetNodeDown call at virtual time t, for
+// fault schedules that crash and restart nodes mid-run (engines that
+// also need to lose volatile state on restart pair this with their own
+// recovery hook, e.g. core.Node.SimulateCrashRestart).
+func (nw *Network) ScheduleNodeDown(t simtime.Time, node NodeID, down bool) {
+	nw.sched.At(t, func() { nw.SetNodeDown(node, down) })
+}
+
 // AllNodes returns [0, 1, ..., n-1] as a convenience for group building.
 func (nw *Network) AllNodes() []NodeID {
 	out := make([]NodeID, nw.n)
