@@ -170,6 +170,114 @@ func BenchmarkPartitionRepair(b *testing.B) {
 	}
 }
 
+// BenchmarkRepairAfterHeal measures catch-up cost as a function of the
+// missed suffix with broadcast compaction on: a replica partitioned
+// away while the survivors commit `missed` updates, then healed to
+// convergence. Small misses repair from the retained tail; misses past
+// the horizon go through snapshot transfer plus tail. Either way the
+// virtual time to converge should grow with the miss, not with total
+// history.
+func BenchmarkRepairAfterHeal(b *testing.B) {
+	for _, missed := range []int{10, 50, 200} {
+		b.Run(fmt.Sprintf("missed=%d", missed), func(b *testing.B) {
+			b.ReportAllocs()
+			var totalVirtual time.Duration
+			for i := 0; i < b.N; i++ {
+				cl := fragdb.NewCluster(fragdb.Config{
+					N: 3, Option: fragdb.UnrestrictedReads, Seed: int64(i + 1),
+					Compaction: true, CompactRetain: 16,
+				})
+				cl.Catalog().AddFragment("F", "x")
+				cl.Tokens().Assign("F", fragdb.NodeAgent(0), 0)
+				if err := cl.Start(); err != nil {
+					b.Fatal(err)
+				}
+				cl.Load("x", int64(0))
+				cl.Net().Partition([]fragdb.NodeID{0, 1}, []fragdb.NodeID{2})
+				for j := 0; j < missed; j++ {
+					cl.Node(0).Submit(fragdb.TxnSpec{
+						Agent: fragdb.NodeAgent(0), Fragment: "F",
+						Program: func(tx *fragdb.Tx) error {
+							v, err := tx.ReadInt("x")
+							if err != nil {
+								return err
+							}
+							return tx.Write("x", v+1)
+						},
+					}, nil)
+					cl.RunFor(10 * time.Millisecond)
+				}
+				healAt := cl.Now()
+				cl.Net().Heal()
+				if !cl.Settle(5 * time.Minute) {
+					b.Fatal("did not converge")
+				}
+				totalVirtual += time.Duration(cl.Now().Sub(healAt))
+				cl.Shutdown()
+			}
+			b.ReportMetric(float64(totalVirtual.Nanoseconds())/float64(b.N)/1e6,
+				"virtual-ms-to-converge")
+		})
+	}
+}
+
+// BenchmarkBroadcastMemory measures what the broadcast layer retains
+// after a long, fully-acked update history: summed log entries across
+// all replicas (custom metric "log-entries") and their encoded bytes
+// ("log-bytes"). With compaction off, both grow linearly with history;
+// with compaction on they stay at the retention slack as history grows
+// 10x — the memory bound the tentpole claims.
+func BenchmarkBroadcastMemory(b *testing.B) {
+	for _, compact := range []bool{false, true} {
+		for _, hist := range []int{100, 1000} {
+			b.Run(fmt.Sprintf("compaction=%v/history=%d", compact, hist), func(b *testing.B) {
+				b.ReportAllocs()
+				var entries, bytes float64
+				for i := 0; i < b.N; i++ {
+					cl := fragdb.NewCluster(fragdb.Config{
+						N: 3, Option: fragdb.UnrestrictedReads, Seed: int64(i + 1),
+						Compaction: compact, CompactRetain: 32,
+					})
+					cl.Catalog().AddFragment("F", "x")
+					cl.Tokens().Assign("F", fragdb.NodeAgent(0), 0)
+					if err := cl.Start(); err != nil {
+						b.Fatal(err)
+					}
+					cl.Load("x", int64(0))
+					for j := 0; j < hist; j++ {
+						cl.Node(0).Submit(fragdb.TxnSpec{
+							Agent: fragdb.NodeAgent(0), Fragment: "F",
+							Program: func(tx *fragdb.Tx) error {
+								v, err := tx.ReadInt("x")
+								if err != nil {
+									return err
+								}
+								return tx.Write("x", v+1)
+							},
+						}, nil)
+						cl.RunFor(10 * time.Millisecond)
+					}
+					if !cl.Settle(5 * time.Minute) {
+						b.Fatal("did not converge")
+					}
+					// A few quiet gossip rounds so the watermark catches the
+					// final acks before we freeze the gauges.
+					cl.RunFor(2 * time.Second)
+					total := 0
+					for n := 0; n < 3; n++ {
+						total += cl.Node(fragdb.NodeID(n)).Broadcaster().LogSize()
+					}
+					entries += float64(total)
+					bytes += float64(cl.BroadcastStats().LogBytes.Load())
+					cl.Shutdown()
+				}
+				b.ReportMetric(entries/float64(b.N), "log-entries")
+				b.ReportMetric(bytes/float64(b.N), "log-bytes")
+			})
+		}
+	}
+}
+
 // BenchmarkGossipInterval is the anti-entropy ablation: virtual
 // convergence time after a partition as a function of the gossip
 // period. Reported as ns/op of simulated (virtual) time via a custom

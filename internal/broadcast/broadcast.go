@@ -10,14 +10,29 @@
 //     sequence numbers starting at 1.
 //   - A sender optimistically pushes new messages to all peers; pushes
 //     lost to partitions are repaired later.
-//   - Every node stores the full in-order log of every origin's stream
-//     it has delivered, and periodically sends a digest (its contiguous
+//   - Every node stores the in-order log of every origin's stream it
+//     has delivered, and periodically sends a digest (its contiguous
 //     prefix per origin) to its peers. A peer that has more of any
 //     stream responds with the missing messages. Because any node can
 //     serve any stream, repair works across multi-hop topologies and
 //     even when the origin itself is down or partitioned away.
 //   - Receivers deliver each origin's stream strictly in order,
-//     buffering out-of-order arrivals until the gap fills.
+//     buffering out-of-order arrivals (up to a bounded window; anything
+//     beyond it is dropped and refilled by anti-entropy) until the gap
+//     fills.
+//
+// With Config.Compaction, memory stays bounded: the digests double as
+// acknowledgments, every node computes per origin a stable watermark —
+// the prefix delivered by every live peer — and truncates the log below
+// it (minus a retained slack of CompactRetain entries). A peer whose
+// digest falls behind a stream's truncation horizon can no longer be
+// repaired entry by entry; it is caught up by a SnapshotOffer carrying
+// the application state (Config.Snapshot) together with the prefix
+// vector that state reflects, after which normal repair ships the
+// retained tail. Truncation preserves guarantee (1): the watermark only
+// passes prefixes every live peer has acknowledged, and a dead or
+// silent peer re-enters through the snapshot path, which is equivalent
+// to having replayed the truncated prefix.
 //
 // Together these give eventual, per-origin-FIFO delivery across
 // arbitrary partition/heal schedules, which is exactly what the
@@ -26,7 +41,9 @@ package broadcast
 
 import (
 	"sort"
+	"sync"
 
+	"fragdb/internal/metrics"
 	"fragdb/internal/netsim"
 )
 
@@ -39,14 +56,48 @@ type Data struct {
 }
 
 // Digest advertises, per origin, the highest contiguous sequence number
-// the sender has delivered. It both requests repair (the receiver sends
-// anything newer) and suppresses redundant retransmission.
+// the sender has delivered. It requests repair (the receiver sends
+// anything newer), suppresses redundant retransmission, and — under
+// compaction — acknowledges the prefix so peers may truncate below the
+// watermark acked by all live nodes.
 type Digest struct {
 	Have map[netsim.NodeID]uint64
 }
 
-// Handler consumes broadcast messages in per-origin FIFO order.
+// SnapshotOffer catches up a peer that has fallen behind the compaction
+// horizon: State is the serving node's application snapshot (produced
+// by its Snapshotter) and Have the per-origin delivered-prefix vector
+// that state reflects. The receiver fast-forwards the covered streams
+// to Have without redelivering the skipped messages — the snapshot
+// stands in for them — and the retained log tail then arrives through
+// the normal digest/Data repair path.
+type SnapshotOffer struct {
+	Have  map[netsim.NodeID]uint64
+	State any
+}
+
+// Handler consumes broadcast messages in per-origin FIFO order. The
+// broadcaster serializes handler invocations (even in real-time mode)
+// and never holds its internal lock while calling, so a handler may
+// call back into Send.
 type Handler func(origin netsim.NodeID, seq uint64, payload any)
+
+// Snapshotter lets the application participate in snapshot catch-up.
+type Snapshotter interface {
+	// CaptureState returns the application state reflecting every
+	// delivery the handler has processed so far, or ok=false if this
+	// node cannot serve snapshots (e.g. it holds only a partial
+	// replica). It is called with the broadcaster's lock held and must
+	// not call back into the broadcaster.
+	CaptureState() (state any, ok bool)
+	// InstallState merges a peer's snapshot into the application.
+	// snapHave is the per-origin delivered-prefix vector the snapshot
+	// reflects; prevHave was the local delivered vector just before the
+	// fast-forward. It is invoked from the delivery context, in order
+	// with surrounding handler deliveries, without the broadcaster's
+	// lock held.
+	InstallState(state any, snapHave, prevHave map[netsim.NodeID]uint64)
+}
 
 // Timer schedules callbacks; the netsim scheduler satisfies it in
 // simulation and a wall-clock adapter satisfies it in real-time runs.
@@ -55,6 +106,22 @@ type Timer interface {
 	// function cancels the callback if it has not fired.
 	AfterFunc(d int64, fn func()) (cancel func())
 }
+
+// Tuning defaults, applied when the corresponding Config field is zero.
+const (
+	// DefaultCompactRetain is the per-stream slack kept below a node's
+	// own prefix even when the watermark would allow deeper truncation,
+	// so short-lived stragglers repair from the tail instead of
+	// triggering snapshot transfers.
+	DefaultCompactRetain = 32
+	// DefaultPeerLiveRounds is how many consecutive gossip rounds of
+	// silence before a peer stops gating the compaction watermark (and
+	// will be caught up by snapshot on return).
+	DefaultPeerLiveRounds = 4
+	// DefaultPendingWindow bounds the out-of-order buffer per origin:
+	// arrivals beyond prefix+window are dropped (anti-entropy refills).
+	DefaultPendingWindow = 512
+)
 
 // Config tunes a Broadcaster.
 type Config struct {
@@ -65,12 +132,90 @@ type Config struct {
 	// MaxBatch bounds how many missing messages are sent in response to
 	// one digest, per origin. Zero means unlimited.
 	MaxBatch int
+	// Compaction enables acked-prefix log truncation and snapshot
+	// catch-up. Without it, every stream is retained in full.
+	Compaction bool
+	// CompactRetain overrides DefaultCompactRetain (negative: no slack).
+	CompactRetain int
+	// PeerLiveRounds overrides DefaultPeerLiveRounds.
+	PeerLiveRounds int
+	// PendingWindow overrides DefaultPendingWindow (negative: unbounded,
+	// the pre-compaction behavior).
+	PendingWindow int
+	// Snapshot supplies application state for snapshot catch-up. With
+	// Compaction and a nil Snapshot, offers carry a nil State and only
+	// fast-forward the broadcast prefixes (pure-broadcast tests).
+	Snapshot Snapshotter
+	// Metrics, if non-nil, receives the compaction gauges and counters.
+	// One value may be shared by all nodes of a cluster.
+	Metrics *metrics.Broadcast
+	// SizeOf, if non-nil, measures payloads for the LogBytes gauge
+	// (e.g. wire.Size). Nil skips byte accounting.
+	SizeOf func(payload any) int
+}
+
+func (c Config) compactRetain() uint64 {
+	switch {
+	case c.CompactRetain > 0:
+		return uint64(c.CompactRetain)
+	case c.CompactRetain < 0:
+		return 0
+	default:
+		return DefaultCompactRetain
+	}
+}
+
+func (c Config) peerLiveRounds() uint64 {
+	if c.PeerLiveRounds > 0 {
+		return uint64(c.PeerLiveRounds)
+	}
+	return DefaultPeerLiveRounds
+}
+
+func (c Config) pendingWindow() uint64 {
+	switch {
+	case c.PendingWindow > 0:
+		return uint64(c.PendingWindow)
+	case c.PendingWindow < 0:
+		return 0 // unbounded
+	default:
+		return DefaultPendingWindow
+	}
+}
+
+// stream is one origin's log as retained locally: entries[i] carries
+// sequence number base+i+1; seqs 1..base have been compacted away (or
+// superseded by an installed snapshot).
+type stream struct {
+	base    uint64
+	entries []any
+}
+
+func (s *stream) prefix() uint64 { return s.base + uint64(len(s.entries)) }
+
+// delivery is one queued handler invocation (or snapshot installation).
+type delivery struct {
+	origin  netsim.NodeID
+	seq     uint64
+	payload any
+	install *installJob
+}
+
+// installJob defers a Snapshotter.InstallState call onto the delivery
+// queue so it runs in order with handler deliveries.
+type installJob struct {
+	state any
+	have  map[netsim.NodeID]uint64
+	prev  map[netsim.NodeID]uint64
 }
 
 // Broadcaster is one node's endpoint of the reliable broadcast. All
-// methods must be called from the transport's delivery context (the
-// simulation event loop, or with external synchronization in real-time
-// mode).
+// methods are safe for concurrent use: the simulator's single-threaded
+// event loop pays only an uncontended mutex, while the real-time
+// transport's delivery goroutines and the wall-clock gossip timer
+// synchronize on it. Handler invocations are serialized through an
+// internal delivery queue and made without the lock held, so handlers
+// may re-enter Send.
 type Broadcaster struct {
 	node    netsim.NodeID
 	tr      netsim.Transport
@@ -78,13 +223,28 @@ type Broadcaster struct {
 	cfg     Config
 	handler Handler
 
+	mu      sync.Mutex
 	nextSeq uint64 // last seq assigned to our own stream
 
-	// logs[o] is the in-order prefix of origin o's stream that this
-	// node has delivered; logs[o][i] has seq i+1.
-	logs map[netsim.NodeID][]any
+	// logs[o] is origin o's retained stream.
+	logs map[netsim.NodeID]*stream
 	// pending[o] buffers out-of-order messages: seq -> payload.
 	pending map[netsim.NodeID]map[uint64]any
+	// delivered[o] is the highest seq the handler has processed (or a
+	// snapshot has superseded); it trails prefix only while deliveries
+	// are queued.
+	delivered map[netsim.NodeID]uint64
+
+	// peerHave records each peer's last digest (its acked prefixes);
+	// peerSeen the gossip round it arrived in; offeredAt (stored as
+	// round+1) throttles snapshot offers to one per peer per round.
+	peerHave  map[netsim.NodeID]map[netsim.NodeID]uint64
+	peerSeen  map[netsim.NodeID]uint64
+	offeredAt map[netsim.NodeID]uint64
+	round     uint64
+
+	deliverQ   []delivery
+	delivering bool
 
 	stopGossip func()
 	stopped    bool
@@ -96,13 +256,17 @@ type Broadcaster struct {
 // nodes — origin included — process each stream in the same order).
 func New(node netsim.NodeID, tr netsim.Transport, timer Timer, cfg Config, h Handler) *Broadcaster {
 	b := &Broadcaster{
-		node:    node,
-		tr:      tr,
-		timer:   timer,
-		cfg:     cfg,
-		handler: h,
-		logs:    make(map[netsim.NodeID][]any),
-		pending: make(map[netsim.NodeID]map[uint64]any),
+		node:      node,
+		tr:        tr,
+		timer:     timer,
+		cfg:       cfg,
+		handler:   h,
+		logs:      make(map[netsim.NodeID]*stream),
+		pending:   make(map[netsim.NodeID]map[uint64]any),
+		delivered: make(map[netsim.NodeID]uint64),
+		peerHave:  make(map[netsim.NodeID]map[netsim.NodeID]uint64),
+		peerSeen:  make(map[netsim.NodeID]uint64),
+		offeredAt: make(map[netsim.NodeID]uint64),
 	}
 	if cfg.GossipInterval > 0 && timer != nil {
 		b.scheduleGossip()
@@ -115,30 +279,48 @@ func (b *Broadcaster) Node() netsim.NodeID { return b.node }
 
 // Stop cancels the periodic gossip.
 func (b *Broadcaster) Stop() {
+	b.mu.Lock()
 	b.stopped = true
-	if b.stopGossip != nil {
-		b.stopGossip()
+	stop := b.stopGossip
+	b.mu.Unlock()
+	if stop != nil {
+		stop()
 	}
 }
 
 func (b *Broadcaster) scheduleGossip() {
-	b.stopGossip = b.timer.AfterFunc(b.cfg.GossipInterval, func() {
-		if b.stopped {
-			return
-		}
-		b.Gossip()
-		b.scheduleGossip()
-	})
+	b.stopGossip = b.timer.AfterFunc(b.cfg.GossipInterval, b.gossipTick)
+}
+
+func (b *Broadcaster) gossipTick() {
+	b.mu.Lock()
+	if b.stopped {
+		b.mu.Unlock()
+		return
+	}
+	b.gossipLocked()
+	b.scheduleGossip()
+	b.mu.Unlock()
+}
+
+// stream returns (creating if needed) origin's retained log.
+func (b *Broadcaster) stream(origin netsim.NodeID) *stream {
+	s, ok := b.logs[origin]
+	if !ok {
+		s = &stream{}
+		b.logs[origin] = s
+	}
+	return s
 }
 
 // Send broadcasts payload: it is appended to this node's own stream,
-// delivered locally at once, and pushed to every peer. It returns the
-// message's sequence number in the node's stream.
+// delivered locally, and pushed to every peer. It returns the message's
+// sequence number in the node's stream.
 func (b *Broadcaster) Send(payload any) uint64 {
+	b.mu.Lock()
 	b.nextSeq++
 	seq := b.nextSeq
-	b.logs[b.node] = append(b.logs[b.node], payload)
-	b.handler(b.node, seq, payload)
+	b.appendEntry(b.node, payload)
 	msg := Data{Origin: b.node, Seq: seq, Payload: payload}
 	for p := 0; p < b.tr.N(); p++ {
 		if netsim.NodeID(p) == b.node {
@@ -146,28 +328,136 @@ func (b *Broadcaster) Send(payload any) uint64 {
 		}
 		b.tr.Send(b.node, netsim.NodeID(p), msg)
 	}
+	b.drainDeliveries()
+	b.mu.Unlock()
 	return seq
+}
+
+// appendEntry extends origin's stream by one delivered entry and queues
+// its handler invocation. Caller holds mu.
+func (b *Broadcaster) appendEntry(origin netsim.NodeID, payload any) {
+	s := b.stream(origin)
+	s.entries = append(s.entries, payload)
+	seq := s.prefix()
+	b.deliverQ = append(b.deliverQ, delivery{origin: origin, seq: seq, payload: payload})
+	if m := b.cfg.Metrics; m != nil {
+		m.LogEntries.Add(1)
+		if b.cfg.SizeOf != nil {
+			m.LogBytes.Add(int64(b.cfg.SizeOf(payload)))
+		}
+	}
+}
+
+// drainDeliveries invokes the handler (and deferred snapshot installs)
+// for queued deliveries in order. The delivering flag elects a single
+// drainer; mu is released around each callback, so handlers may
+// re-enter Send — their payloads enqueue and are delivered when the
+// outer handler returns, preserving per-origin FIFO. Caller holds mu;
+// mu is held again on return.
+func (b *Broadcaster) drainDeliveries() {
+	if b.delivering {
+		return
+	}
+	b.delivering = true
+	for len(b.deliverQ) > 0 {
+		d := b.deliverQ[0]
+		b.deliverQ = b.deliverQ[1:]
+		if d.install != nil {
+			snap := b.cfg.Snapshot
+			b.mu.Unlock()
+			snap.InstallState(d.install.state, d.install.have, d.install.prev)
+			b.mu.Lock()
+			continue
+		}
+		b.mu.Unlock()
+		b.handler(d.origin, d.seq, d.payload)
+		b.mu.Lock()
+		if b.delivered[d.origin] < d.seq {
+			b.delivered[d.origin] = d.seq
+		}
+	}
+	b.delivering = false
 }
 
 // Prefix reports the highest contiguous sequence number delivered for
 // the given origin.
 func (b *Broadcaster) Prefix(origin netsim.NodeID) uint64 {
-	return uint64(len(b.logs[origin]))
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if s, ok := b.logs[origin]; ok {
+		return s.prefix()
+	}
+	return 0
 }
 
-// Log returns the delivered payloads of origin's stream (seq 1..Prefix).
+// Base reports origin's compaction horizon: the sequence number below
+// which the stream has been truncated (or superseded by a snapshot).
+// Retained entries cover seqs Base+1..Prefix; zero means the full
+// stream is retained.
+func (b *Broadcaster) Base(origin netsim.NodeID) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if s, ok := b.logs[origin]; ok {
+		return s.base
+	}
+	return 0
+}
+
+// Log returns the retained delivered payloads of origin's stream, seqs
+// Base+1..Prefix (the full stream when compaction never truncated it).
 func (b *Broadcaster) Log(origin netsim.NodeID) []any {
-	out := make([]any, len(b.logs[origin]))
-	copy(out, b.logs[origin])
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, ok := b.logs[origin]
+	if !ok {
+		return nil
+	}
+	out := make([]any, len(s.entries))
+	copy(out, s.entries)
 	return out
 }
 
-// Gossip sends this node's digest to every peer once. The periodic
-// timer calls it automatically when GossipInterval is set.
+// LogSize reports the total retained log entries across all streams
+// (the quantity the compaction horizon bounds).
+func (b *Broadcaster) LogSize() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	total := 0
+	for _, s := range b.logs {
+		total += len(s.entries)
+	}
+	return total
+}
+
+// PendingSize reports buffered out-of-order messages across all
+// origins (bounded per origin by Config.PendingWindow).
+func (b *Broadcaster) PendingSize() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	total := 0
+	for _, buf := range b.pending {
+		total += len(buf)
+	}
+	return total
+}
+
+// Gossip sends this node's digest to every peer once (and, under
+// compaction, advances the round counter and truncates acked prefixes).
+// The periodic timer calls it automatically when GossipInterval is set.
 func (b *Broadcaster) Gossip() {
+	b.mu.Lock()
+	b.gossipLocked()
+	b.mu.Unlock()
+}
+
+func (b *Broadcaster) gossipLocked() {
+	b.round++
+	if b.cfg.Compaction {
+		b.compactLocked()
+	}
 	d := Digest{Have: make(map[netsim.NodeID]uint64, len(b.logs))}
-	for o, log := range b.logs {
-		d.Have[o] = uint64(len(log))
+	for o, s := range b.logs {
+		d.Have[o] = s.prefix()
 	}
 	for p := 0; p < b.tr.N(); p++ {
 		if netsim.NodeID(p) == b.node {
@@ -177,34 +467,114 @@ func (b *Broadcaster) Gossip() {
 	}
 }
 
+// compactLocked truncates every stream below its stable watermark: the
+// minimum prefix acked (via digests) by all live peers, kept at least
+// CompactRetain entries below our own prefix. Peers silent for more
+// than PeerLiveRounds gossip rounds stop gating the watermark — they
+// are presumed dead or partitioned and will be caught up by snapshot.
+// Peers never heard from are conservatively treated as live until the
+// silence threshold passes, so startup does not truncate under them.
+func (b *Broadcaster) compactLocked() {
+	liveRounds := b.cfg.peerLiveRounds()
+	retain := b.cfg.compactRetain()
+	var live []netsim.NodeID
+	for p := 0; p < b.tr.N(); p++ {
+		id := netsim.NodeID(p)
+		if id == b.node {
+			continue
+		}
+		if b.round-b.peerSeen[id] <= liveRounds {
+			live = append(live, id)
+		}
+	}
+	for o, s := range b.logs {
+		if len(s.entries) == 0 {
+			continue
+		}
+		pf := s.prefix()
+		wm := pf
+		for _, p := range live {
+			if h := b.peerHave[p][o]; h < wm {
+				wm = h
+			}
+		}
+		limit := uint64(0)
+		if pf > retain {
+			limit = pf - retain
+		}
+		if wm > limit {
+			wm = limit
+		}
+		if wm <= s.base {
+			continue
+		}
+		drop := int(wm - s.base)
+		if m := b.cfg.Metrics; m != nil {
+			m.CompactedSeqs.Add(uint64(drop))
+			m.LogEntries.Add(-int64(drop))
+			if b.cfg.SizeOf != nil {
+				var bytes int64
+				for _, e := range s.entries[:drop] {
+					bytes += int64(b.cfg.SizeOf(e))
+				}
+				m.LogBytes.Add(-bytes)
+			}
+		}
+		tail := make([]any, len(s.entries)-drop)
+		copy(tail, s.entries[drop:])
+		s.entries = tail
+		s.base = wm
+	}
+}
+
 // HandleMessage processes a transport delivery addressed to this
 // broadcaster. The owner demultiplexes transport traffic and forwards
-// Data and Digest messages here. It reports whether the message was a
-// broadcast-protocol message.
+// Data, Digest, and SnapshotOffer messages here. It reports whether the
+// message was a broadcast-protocol message.
 func (b *Broadcaster) HandleMessage(from netsim.NodeID, payload any) bool {
 	switch m := payload.(type) {
 	case Data:
+		b.mu.Lock()
 		b.receive(m)
+		b.drainDeliveries()
+		b.mu.Unlock()
 		return true
 	case Digest:
+		b.mu.Lock()
 		b.repair(from, m)
+		b.drainDeliveries()
+		b.mu.Unlock()
+		return true
+	case SnapshotOffer:
+		b.mu.Lock()
+		b.installOffer(m)
+		b.drainDeliveries()
+		b.mu.Unlock()
 		return true
 	}
 	return false
 }
 
-// receive ingests a Data message, delivering in order and buffering
-// gaps.
+// receive ingests a Data message, queueing in-order deliveries and
+// buffering gaps up to the pending window. Caller holds mu.
 func (b *Broadcaster) receive(m Data) {
-	prefix := uint64(len(b.logs[m.Origin]))
+	s := b.stream(m.Origin)
+	prefix := s.prefix()
 	switch {
 	case m.Seq <= prefix:
-		return // duplicate
+		return // duplicate (or below the compaction horizon)
 	case m.Seq == prefix+1:
-		b.logs[m.Origin] = append(b.logs[m.Origin], m.Payload)
-		b.handler(m.Origin, m.Seq, m.Payload)
-		b.drain(m.Origin)
+		b.appendEntry(m.Origin, m.Payload)
+		b.drainOrigin(m.Origin)
 	default:
+		if w := b.cfg.pendingWindow(); w > 0 && m.Seq > prefix+w {
+			// Beyond the out-of-order window: drop. The sender's digest
+			// exchange will re-ship it once the gap closes.
+			if m := b.cfg.Metrics; m != nil {
+				m.PendingDropped.Add(1)
+			}
+			return
+		}
 		buf, ok := b.pending[m.Origin]
 		if !ok {
 			buf = make(map[uint64]any)
@@ -214,39 +584,163 @@ func (b *Broadcaster) receive(m Data) {
 	}
 }
 
-// drain delivers buffered messages that have become contiguous.
-func (b *Broadcaster) drain(origin netsim.NodeID) {
+// drainOrigin moves buffered messages that have become contiguous into
+// the log, queueing their deliveries. Caller holds mu.
+func (b *Broadcaster) drainOrigin(origin netsim.NodeID) {
 	buf := b.pending[origin]
+	if buf == nil {
+		return
+	}
+	s := b.stream(origin)
 	for {
-		next := uint64(len(b.logs[origin])) + 1
+		next := s.prefix() + 1
 		payload, ok := buf[next]
 		if !ok {
 			return
 		}
 		delete(buf, next)
-		b.logs[origin] = append(b.logs[origin], payload)
-		b.handler(origin, next, payload)
+		b.appendEntry(origin, payload)
 	}
 }
 
 // repair answers a peer's digest with any messages the peer is missing
-// from streams this node has more of.
+// from streams this node has more of, recording the digest as the
+// peer's acknowledgment for the compaction watermark. A peer that has
+// fallen behind a stream's truncation horizon gets a snapshot offer
+// instead of unservable entries. Caller holds mu.
 func (b *Broadcaster) repair(from netsim.NodeID, d Digest) {
+	have := make(map[netsim.NodeID]uint64, len(d.Have))
+	for o, h := range d.Have {
+		have[o] = h
+	}
+	b.peerHave[from] = have
+	b.peerSeen[from] = b.round
+
 	origins := make([]netsim.NodeID, 0, len(b.logs))
 	for o := range b.logs {
 		origins = append(origins, o)
 	}
 	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	behind := false
 	for _, o := range origins {
-		log := b.logs[o]
+		s := b.logs[o]
 		theirs := d.Have[o]
+		if theirs < s.base {
+			// The missing prefix is gone here; entry-by-entry repair
+			// cannot help this peer for this stream.
+			behind = true
+			continue
+		}
 		sent := 0
-		for seq := theirs + 1; seq <= uint64(len(log)); seq++ {
+		for seq := theirs + 1; seq <= s.prefix(); seq++ {
 			if b.cfg.MaxBatch > 0 && sent >= b.cfg.MaxBatch {
 				break
 			}
-			b.tr.Send(b.node, from, Data{Origin: o, Seq: seq, Payload: log[seq-1]})
+			b.tr.Send(b.node, from, Data{Origin: o, Seq: seq, Payload: s.entries[seq-s.base-1]})
 			sent++
 		}
+	}
+	if behind && b.cfg.Compaction {
+		b.offerSnapshot(from)
+	}
+}
+
+// offerSnapshot sends one SnapshotOffer (at most one per peer per
+// gossip round) covering this node's delivered prefixes. Caller holds
+// mu.
+func (b *Broadcaster) offerSnapshot(to netsim.NodeID) {
+	if b.offeredAt[to] == b.round+1 {
+		return
+	}
+	b.offeredAt[to] = b.round + 1
+	var state any
+	if b.cfg.Snapshot != nil {
+		st, ok := b.cfg.Snapshot.CaptureState()
+		if !ok {
+			return // cannot vouch for full state; another replica will
+		}
+		state = st
+	}
+	have := make(map[netsim.NodeID]uint64, len(b.logs))
+	for o := range b.logs {
+		// The application state reflects handler-delivered messages, so
+		// advertise the delivered vector, not the (possibly queued-ahead)
+		// log prefix.
+		have[o] = b.delivered[o]
+	}
+	b.tr.Send(b.node, to, SnapshotOffer{Have: have, State: state})
+	if m := b.cfg.Metrics; m != nil {
+		m.SnapshotsSent.Add(1)
+	}
+}
+
+// installOffer fast-forwards every stream the offer advances, discards
+// superseded retained entries and buffered gaps, and defers the
+// application-state installation onto the delivery queue (so it runs in
+// order between the deliveries that precede and follow the jump).
+// Caller holds mu.
+func (b *Broadcaster) installOffer(m SnapshotOffer) {
+	advances := false
+	for o, h := range m.Have {
+		if h > b.stream(o).prefix() {
+			advances = true
+			break
+		}
+	}
+	if !advances {
+		return // stale offer; we caught up through normal repair
+	}
+	prev := make(map[netsim.NodeID]uint64, len(b.delivered))
+	for o, h := range b.delivered {
+		prev[o] = h
+	}
+	origins := make([]netsim.NodeID, 0, len(m.Have))
+	for o := range m.Have {
+		origins = append(origins, o)
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	for _, o := range origins {
+		h := m.Have[o]
+		s := b.stream(o)
+		if h <= s.prefix() {
+			continue // we already have at least this much; keep our log
+		}
+		if mt := b.cfg.Metrics; mt != nil {
+			mt.LogEntries.Add(-int64(len(s.entries)))
+			if b.cfg.SizeOf != nil {
+				var bytes int64
+				for _, e := range s.entries {
+					bytes += int64(b.cfg.SizeOf(e))
+				}
+				mt.LogBytes.Add(-bytes)
+			}
+		}
+		s.base = h
+		s.entries = nil
+		if b.delivered[o] < h {
+			b.delivered[o] = h
+		}
+		for seq := range b.pending[o] {
+			if seq <= h {
+				delete(b.pending[o], seq)
+			}
+		}
+	}
+	if b.cfg.Snapshot != nil {
+		have := make(map[netsim.NodeID]uint64, len(m.Have))
+		for o, h := range m.Have {
+			have[o] = h
+		}
+		b.deliverQ = append(b.deliverQ, delivery{
+			install: &installJob{state: m.State, have: have, prev: prev},
+		})
+	}
+	if mt := b.cfg.Metrics; mt != nil {
+		mt.SnapshotsInstalled.Add(1)
+	}
+	// Buffered arrivals just above the new prefix may now be contiguous;
+	// their deliveries queue behind the install job, preserving order.
+	for _, o := range origins {
+		b.drainOrigin(o)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"fragdb/internal/core"
 	"fragdb/internal/metrics"
@@ -51,6 +52,102 @@ func TestSweep(t *testing.T) {
 		t.Error("sweep scheduled no agent moves (vacuous)")
 	}
 	t.Logf("sweep: %s", chaos.String())
+}
+
+// TestCompactionSweep re-runs the full standard sweep with broadcast
+// log compaction forced on: 16 seeds x 4 option groups = 64 plans by
+// default. Compaction is copied into the plan outside the RNG draws, so
+// every plan here is byte-identical to its TestSweep twin except for
+// the flag — any new invariant failure is attributable to truncation
+// or snapshot catch-up, not to a different fault schedule.
+func TestCompactionSweep(t *testing.T) {
+	perProfile := *seedsFlag
+	if testing.Short() {
+		perProfile = 4
+	}
+	profiles := Profiles()
+	for i := range profiles {
+		profiles[i].Compaction = true
+	}
+	chaos := &metrics.Chaos{}
+	res := Sweep(profiles, 1, perProfile, SweepOpts{
+		Workers: 4,
+		Chaos:   chaos,
+	})
+	if got, want := len(res.Reports), 4*perProfile; got != want {
+		t.Fatalf("executed %d plans, want %d", got, want)
+	}
+	for _, rep := range res.Reports {
+		if !rep.Plan.Compaction {
+			t.Fatal("plan generated without compaction despite profile flag")
+		}
+	}
+	for _, rep := range res.Failures() {
+		t.Errorf("invariant failure under compaction: %s", rep.String())
+		for _, c := range rep.Failures() {
+			t.Errorf("  %s: %v", c.Name, c.Err)
+		}
+	}
+	if chaos.TxnsCommitted.Load() == 0 {
+		t.Error("compaction sweep committed no transactions (vacuous)")
+	}
+	if chaos.FaultsInjected.Load() == 0 {
+		t.Error("compaction sweep injected no faults (vacuous)")
+	}
+	t.Logf("compaction sweep: %s", chaos.String())
+}
+
+// TestCompactionLongHistory drives the dedicated compaction profile —
+// histories ten times longer than the standard sweep — and checks that
+// (a) the invariant ladder still passes and (b) the run is not
+// vacuous: sequences were actually truncated and the retained log
+// stayed within the retention slack rather than growing with history.
+func TestCompactionLongHistory(t *testing.T) {
+	pr, ok := ProfileByName("compaction")
+	if !ok {
+		t.Fatal("compaction profile missing")
+	}
+	seeds := 4
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		var compacted, snapshots uint64
+		perNode := map[int]int{}
+		opts := RunOpts{Sabotage: func(cl *core.Cluster, p Plan) {
+			// Let a few quiet gossip rounds run so the watermark
+			// catches up to the final acks, then freeze the stats.
+			cl.RunFor(2 * time.Second)
+			compacted = cl.BroadcastStats().CompactedSeqs.Load()
+			snapshots = cl.BroadcastStats().SnapshotsInstalled.Load()
+			for i := 0; i < p.N; i++ {
+				perNode[i] = cl.Node(netsim.NodeID(i)).Broadcaster().LogSize()
+			}
+		}}
+		p := Generate(seed, pr)
+		rep := Execute(p, opts)
+		if rep.Failed() {
+			t.Errorf("seed %d: invariant failure: %s", seed, rep.String())
+			for _, c := range rep.Failures() {
+				t.Errorf("  %s: %v", c.Name, c.Err)
+			}
+			continue
+		}
+		if compacted == 0 {
+			t.Errorf("seed %d: %d steps compacted nothing (vacuous)", seed, len(p.Steps))
+		}
+		// At quiescence every stream is acked by every replica, so the
+		// retained tail per origin is just the retention slack. 2x for
+		// digest propagation lag.
+		bound := p.N * chaosCompactRetain * 2
+		for node, got := range perNode {
+			if got > bound {
+				t.Errorf("seed %d: node %d retains %d broadcast entries after %d steps (bound %d)",
+					seed, node, got, len(p.Steps), bound)
+			}
+		}
+		t.Logf("seed %d: steps=%d compacted=%d snapshots-installed=%d", seed, len(p.Steps), compacted, snapshots)
+	}
 }
 
 // TestBankSweep runs the banking workload profile: conservation of
@@ -195,7 +292,7 @@ func TestAcyclicProfileGeneratesForests(t *testing.T) {
 
 // TestProfileByName covers the lookup used by cmd/hachaos flags.
 func TestProfileByName(t *testing.T) {
-	for _, name := range []string{"readlocks", "acyclic", "unrestricted", "moving", "bank"} {
+	for _, name := range []string{"readlocks", "acyclic", "unrestricted", "moving", "bank", "compaction"} {
 		pr, ok := ProfileByName(name)
 		if !ok || pr.Name != name {
 			t.Errorf("ProfileByName(%q) = %+v, %v", name, pr, ok)

@@ -19,6 +19,13 @@ import (
 // wedging the run.
 const txnTimeout = 2 * time.Second
 
+// chaosCompactRetain is the per-stream retention slack used when a plan
+// enables broadcast compaction. Chaos plans are short relative to the
+// production default (32), so an aggressive slack is needed for the
+// horizon to actually advance — a compaction sweep that never compacts
+// proves nothing. Ignored by plans with Compaction false.
+const chaosCompactRetain = 8
+
 // settleBudget is the extra virtual time a run may spend converging
 // after the horizon (network fully repaired).
 const settleBudget = 4 * time.Minute
@@ -183,6 +190,8 @@ func executeCounters(p Plan, opts RunOpts) *Report {
 		Option:         p.Option,
 		Seed:           p.Seed,
 		MajorityCommit: p.MajorityCommit,
+		Compaction:     p.Compaction,
+		CompactRetain:  chaosCompactRetain,
 		LossProb:       p.LossProb,
 		TxnTimeout:     txnTimeout,
 	})
@@ -356,10 +365,12 @@ func executeBank(p Plan, opts RunOpts) *Report {
 	const initialBalance = 500
 	bank, err := workload.NewBank(workload.BankConfig{
 		Cluster: core.Config{
-			N:          p.N,
-			Seed:       p.Seed,
-			LossProb:   p.LossProb,
-			TxnTimeout: txnTimeout,
+			N:             p.N,
+			Seed:          p.Seed,
+			Compaction:    p.Compaction,
+			CompactRetain: chaosCompactRetain,
+			LossProb:      p.LossProb,
+			TxnTimeout:    txnTimeout,
 		},
 		CentralNode:    0,
 		Accounts:       accounts,

@@ -164,6 +164,9 @@ type Plan struct {
 	N, Frags int
 	// MajorityCommit enables the Section 4.4.1 commit protocol.
 	MajorityCommit bool
+	// Compaction enables broadcast log truncation + snapshot catch-up;
+	// the invariant ladder must hold unchanged with it on.
+	Compaction bool
 	// LossProb is the per-message random loss probability.
 	LossProb float64
 	// Horizon is the active phase's virtual duration; the executor then
@@ -206,6 +209,8 @@ type Profile struct {
 	Bank bool
 	// MajorityChance is the probability a plan runs majority commit.
 	MajorityChance float64
+	// Compaction runs every plan with broadcast log compaction on.
+	Compaction bool
 	// Topology bounds.
 	MinN, MaxN, MinFrags, MaxFrags int
 	// Workload bounds.
@@ -252,8 +257,26 @@ func BankProfile() Profile {
 	}
 }
 
+// CompactionProfile returns the long-history profile: an order of
+// magnitude more workload steps than the base profiles, broadcast log
+// compaction on, agent moves and fault episodes in play — the regime
+// where unbounded logs would dominate memory and laggards must catch up
+// by snapshot rather than full replay. The invariant ladder audited is
+// the same as for the standard profiles.
+func CompactionProfile() Profile {
+	return Profile{
+		Name: "compaction", Option: core.UnrestrictedReads,
+		Moving: true, Compaction: true,
+		MajorityChance: 0.35,
+		MinN:           3, MaxN: 5, MinFrags: 3, MaxFrags: 5,
+		MinSteps: 100, MaxSteps: 240,
+		MaxFaults: 3, MaxMoves: 2,
+		LossChance: 0.3, MaxLoss: 0.15,
+	}
+}
+
 // ProfileByName resolves a profile by name ("readlocks", "acyclic",
-// "unrestricted", "moving", "bank").
+// "unrestricted", "moving", "bank", "compaction").
 func ProfileByName(name string) (Profile, bool) {
 	for _, p := range Profiles() {
 		if p.Name == name {
@@ -262,6 +285,9 @@ func ProfileByName(name string) (Profile, bool) {
 	}
 	if b := BankProfile(); b.Name == name {
 		return b, true
+	}
+	if c := CompactionProfile(); c.Name == name {
+		return c, true
 	}
 	return Profile{}, false
 }
@@ -284,6 +310,8 @@ func Generate(seed int64, pr Profile) Plan {
 		Horizon: simtime.Duration(topo.IntBetween(1500, 2500)) * time.Millisecond,
 	}
 	p.Frags = topo.IntBetween(pr.MinFrags, pr.MaxFrags)
+	// Copied, not drawn: existing profiles' plans stay byte-identical.
+	p.Compaction = pr.Compaction
 	if pr.Bank {
 		p.Option = core.UnrestrictedReads
 	}
@@ -504,6 +532,9 @@ func (p Plan) GoLiteral() string {
 	fmt.Fprintf(&b, "\tFrags:   %d,\n", p.Frags)
 	if p.MajorityCommit {
 		fmt.Fprintf(&b, "\tMajorityCommit: true,\n")
+	}
+	if p.Compaction {
+		fmt.Fprintf(&b, "\tCompaction: true,\n")
 	}
 	if p.LossProb > 0 {
 		fmt.Fprintf(&b, "\tLossProb: %g,\n", p.LossProb)

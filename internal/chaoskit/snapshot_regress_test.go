@@ -1,0 +1,94 @@
+package chaoskit
+
+import (
+	"testing"
+	"time"
+
+	"fragdb/internal/core"
+)
+
+// Shrunk chaos plans that reproduce two snapshot-capture consistency
+// bugs found by the 64-seed compaction sweep. Both have the same shape:
+// a partitioned laggard heals, the survivors' watermark has already
+// truncated the log below its prefix, and the snapshot it receives was
+// captured at a moment when a quasi-transaction lived outside the
+// stream buffers that captureSnap ships — so the laggard fast-forwarded
+// past the update and silently lost it.
+
+// homePrepareCapturePlan (shrunk from compaction seed 5): the snapshot
+// source is the HOME of an in-flight majority-commit transaction. Its
+// prepare has been broadcast (and self-delivered, bumping the
+// advertised prefix) but handlePrepare skips self-deliveries, so the
+// quasi sits in active-transaction state, not st.prepared. The receiver
+// fast-forwards past the prepare and the commit command in the retained
+// tail finds nothing to commit.
+func homePrepareCapturePlan() Plan {
+	return Plan{
+		Seed: 5, Profile: "snap-regress", Option: core.UnrestrictedReads,
+		N: 3, Frags: 1, MajorityCommit: true, Compaction: true,
+		Horizon: 1598 * time.Millisecond,
+		Steps: []Step{
+			{At: 672 * time.Millisecond, Frag: 0, Node: 0, Kind: StepUpdate},
+			{At: 710 * time.Millisecond, Frag: 0, Node: 0, Kind: StepUpdate},
+			{At: 477 * time.Millisecond, Frag: 0, Node: 0, Kind: StepUpdate},
+			{At: 605 * time.Millisecond, Frag: 0, Node: 0, Kind: StepUpdate},
+			{At: 792 * time.Millisecond, Frag: 0, Node: 0, Kind: StepUpdate},
+		},
+		Faults: []Fault{
+			{Kind: FaultPartition, At: 243 * time.Millisecond, Until: 792 * time.Millisecond, Cut: 2},
+		},
+	}
+}
+
+// parkedQuasiCapturePlan (shrunk from compaction seed 49): the snapshot
+// source captured while a delivered quasi-transaction was parked on
+// write locks held by a local reading transaction — drainStream had
+// already pulled it out of st.pending, but installation had not yet
+// reached the store. Read edges make node 0's local transactions read
+// the fragment whose remote update parks.
+func parkedQuasiCapturePlan() Plan {
+	return Plan{
+		Seed: 49, Profile: "snap-regress", Option: core.UnrestrictedReads,
+		N: 3, Frags: 3, MajorityCommit: true, Compaction: true,
+		Horizon:   1889 * time.Millisecond,
+		ReadEdges: [][2]int{{0, 1}, {1, 2}, {2, 1}},
+		Steps: []Step{
+			{At: 1275 * time.Millisecond, Frag: 1, Node: 0, Kind: StepUpdate, Reads: []int{2}},
+			{At: 1626 * time.Millisecond, Frag: 0, Node: 0, Kind: StepUpdate, Reads: []int{1}},
+			{At: 1618 * time.Millisecond, Frag: 0, Node: 0, Kind: StepUpdate, Reads: []int{1, 3}},
+			{At: 1320 * time.Millisecond, Frag: 1, Node: 0, Kind: StepUpdate, Reads: []int{2, 3}},
+			{At: 1615 * time.Millisecond, Frag: 1, Node: 0, Kind: StepUpdate},
+			{At: 1278 * time.Millisecond, Frag: 1, Node: 0, Kind: StepUpdate, Reads: []int{2, 3}},
+			{At: 1300 * time.Millisecond, Frag: 1, Node: 0, Kind: StepUpdate, Reads: []int{2, 3}},
+		},
+		Faults: []Fault{
+			{Kind: FaultPartition, At: 1212 * time.Millisecond, Until: 1641 * time.Millisecond, Cut: 2},
+		},
+	}
+}
+
+func TestSnapshotCaptureRegressions(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		plan Plan
+	}{
+		{"home-prepare-in-flight", homePrepareCapturePlan()},
+		{"quasi-parked-on-locks", parkedQuasiCapturePlan()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var snapshots uint64
+			rep := Execute(tc.plan, RunOpts{Sabotage: func(cl *core.Cluster, p Plan) {
+				snapshots = cl.BroadcastStats().SnapshotsInstalled.Load()
+			}})
+			for _, c := range rep.Failures() {
+				t.Errorf("%s: %v", c.Name, c.Err)
+			}
+			if snapshots == 0 {
+				t.Errorf("no snapshot installed: plan no longer exercises catch-up")
+			}
+			if rep.Committed != rep.Submitted {
+				t.Errorf("committed %d of %d submitted", rep.Committed, rep.Submitted)
+			}
+		})
+	}
+}

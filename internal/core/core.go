@@ -135,6 +135,14 @@ type Config struct {
 	// real losses and rely on their timeouts, as they would on a real
 	// 1986 WAN.
 	LossProb float64
+	// Compaction enables broadcast log truncation below the all-acked
+	// watermark, with snapshot catch-up for nodes that fall behind the
+	// horizon. Keeps broadcast memory bounded over long runs.
+	Compaction bool
+	// CompactRetain and PeerLiveRounds tune compaction (zero: broadcast
+	// package defaults).
+	CompactRetain  int
+	PeerLiveRounds int
 }
 
 func (c *Config) fillDefaults() {
@@ -180,6 +188,7 @@ type Cluster struct {
 	rag    *fragments.ReadAccessGraph
 	rec    *history.Recorder
 	stats  *metrics.Counters
+	bstats *metrics.Broadcast
 	nodes  []*Node
 
 	// onRecovered, if set, is invoked at a moved agent's new home node
@@ -236,6 +245,7 @@ func NewCluster(cfg Config) *Cluster {
 		cat:         fragments.NewCatalog(),
 		tokens:      fragments.NewTokens(),
 		stats:       &metrics.Counters{},
+		bstats:      &metrics.Broadcast{},
 		commutative: make(map[fragments.FragmentID]bool),
 		fragOptions: make(map[fragments.FragmentID]ControlOption),
 		replicas:    make(map[fragments.FragmentID]map[netsim.NodeID]bool),
@@ -270,6 +280,10 @@ func (cl *Cluster) Recorder() *history.Recorder { return cl.rec }
 
 // Stats returns the cluster's metric counters.
 func (cl *Cluster) Stats() *metrics.Counters { return cl.stats }
+
+// BroadcastStats returns the cluster-wide broadcast gauges (retained
+// log entries, compaction and snapshot-catch-up counters).
+func (cl *Cluster) BroadcastStats() *metrics.Broadcast { return cl.bstats }
 
 // Sched returns the virtual-time scheduler driving the cluster.
 func (cl *Cluster) Sched() *simtime.Scheduler { return cl.sched }

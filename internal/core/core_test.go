@@ -15,7 +15,13 @@ import (
 // two objects "fN/a", "fN/b" initialized to int64(0).
 func bankCluster(t *testing.T, opt ControlOption) *Cluster {
 	t.Helper()
-	cl := NewCluster(Config{N: 3, Option: opt, Seed: 42})
+	return populateBank(t, NewCluster(Config{N: 3, Option: opt, Seed: 42}), opt)
+}
+
+// populateBank declares the three-fragment schema on a fresh 3-node
+// cluster, starts it, and loads the initial data.
+func populateBank(t *testing.T, cl *Cluster, opt ControlOption) *Cluster {
+	t.Helper()
 	for i := 0; i < 3; i++ {
 		f := fragments.FragmentID([]string{"F0", "F1", "F2"}[i])
 		oa := fragments.ObjectID(string(f) + "/a")

@@ -10,6 +10,7 @@ import (
 	"fragdb/internal/simtime"
 	"fragdb/internal/storage"
 	"fragdb/internal/txn"
+	"fragdb/internal/wire"
 )
 
 // Wire message types (beyond the broadcast layer's own).
@@ -186,6 +187,12 @@ type Node struct {
 	multiCoords map[txn.ID]*multiCoord
 	multiParts  map[partKey]*multiPart
 	multiByPid  map[txn.ID]*multiPart
+
+	// snapJournal records snapshot installations durably (a real system
+	// would fsync the installed state): like the WAL and the broadcast
+	// journal, it survives SimulateCrashRestart, which replays it before
+	// the retained broadcast tail.
+	snapJournal []snapJournalEntry
 }
 
 type remoteHolder struct {
@@ -211,7 +218,15 @@ func newNode(cl *Cluster, id netsim.NodeID) *Node {
 		posQueries:   make(map[uint64]func(netsim.NodeID, txn.FragPos)),
 	}
 	n.bcast = broadcast.New(id, cl.net, cl.timer(),
-		broadcast.Config{GossipInterval: int64(cl.cfg.GossipInterval)},
+		broadcast.Config{
+			GossipInterval: int64(cl.cfg.GossipInterval),
+			Compaction:     cl.cfg.Compaction,
+			CompactRetain:  cl.cfg.CompactRetain,
+			PeerLiveRounds: cl.cfg.PeerLiveRounds,
+			Snapshot:       nodeSnapshotter{n},
+			Metrics:        cl.bstats,
+			SizeOf:         wire.Size,
+		},
 		n.handleBroadcast)
 	cl.net.SetHandler(id, n.handleTransport)
 	return n

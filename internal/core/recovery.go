@@ -95,13 +95,26 @@ func (n *Node) SimulateCrashRestart() {
 		}
 	}
 
-	// Replay the broadcast journal through the normal delivery path to
-	// rebuild buffers and majority-commit state; deliveries already in
-	// the WAL deduplicate on position.
+	// Re-apply durably installed snapshots in their original order: the
+	// broadcast messages they stood in for are below the compaction
+	// horizon and cannot be replayed, and the stream positions and
+	// in-flight buffers they carried are volatile. applySnap is
+	// idempotent over the WAL-rebuilt state (dominance merges, seen-id
+	// deduplication), so re-applying after the rebuild is safe.
+	for _, e := range n.snapJournal {
+		n.applySnap(e.snap, e.have, e.prev)
+	}
+
+	// Replay the retained broadcast journal through the normal delivery
+	// path to rebuild buffers and majority-commit state; deliveries
+	// already in the WAL deduplicate on position. Under compaction the
+	// journal starts at the stream's horizon, above any installed
+	// snapshot, so the sequence numbers resume from Base.
 	for origin := 0; origin < n.cl.cfg.N; origin++ {
 		o := netsim.NodeID(origin)
+		base := n.bcast.Base(o)
 		for i, payload := range n.bcast.Log(o) {
-			n.handleBroadcast(o, uint64(i+1), payload)
+			n.handleBroadcast(o, base+uint64(i)+1, payload)
 		}
 	}
 }

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"fragdb/internal/netsim"
+)
+
+// compactingBankCluster is bankCluster with broadcast compaction on and
+// an aggressive retention so tests hit the horizon quickly.
+func compactingBankCluster(t *testing.T, opt ControlOption) *Cluster {
+	t.Helper()
+	cl := NewCluster(Config{N: 3, Option: opt, Seed: 42, Compaction: true, CompactRetain: 8})
+	return populateBank(t, cl, opt)
+}
+
+// incrementF0 runs count increments of F0/a at node 0, spaced so the
+// gossip/compaction machinery runs between them.
+func incrementF0(cl *Cluster, count int) {
+	for i := 0; i < count; i++ {
+		submitSync(cl, 0, TxnSpec{
+			Agent: "node:0", Fragment: "F0",
+			Program: func(tx *Tx) error {
+				v, err := tx.ReadInt("F0/a")
+				if err != nil {
+					return err
+				}
+				return tx.Write("F0/a", v+1)
+			},
+		})
+		cl.RunFor(60 * time.Millisecond)
+	}
+}
+
+// TestCompactionBoundsBroadcastLogInCluster: with every replica
+// connected and acking, a long update history leaves only the retention
+// slack in the broadcast logs.
+func TestCompactionBoundsBroadcastLogInCluster(t *testing.T) {
+	cl := compactingBankCluster(t, UnrestrictedReads)
+	defer cl.Shutdown()
+	const updates = 60
+	incrementF0(cl, updates)
+	if !cl.Settle(10 * time.Second) {
+		t.Fatal("did not settle")
+	}
+	if got := cl.BroadcastStats().CompactedSeqs.Load(); got == 0 {
+		t.Fatal("no sequences compacted")
+	}
+	for i := 0; i < 3; i++ {
+		// Node 0's stream carries ~1 quasi per update; without compaction
+		// every node would retain all of them.
+		if got := cl.Node(netsim.NodeID(i)).Broadcaster().LogSize(); got > 3*8+3 {
+			t.Errorf("node %d retains %d broadcast entries after %d updates", i, got, updates)
+		}
+	}
+	if v, _ := cl.Node(2).Store().Get("F0/a"); v != int64(updates) {
+		t.Errorf("replica F0/a = %v, want %d", v, updates)
+	}
+	if err := cl.CheckMutualConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSnapshotCatchUpAfterLongPartition: a replica partitioned away
+// long enough for the survivors to truncate past its prefix must catch
+// up by snapshot transfer plus the retained tail — and end mutually
+// consistent.
+func TestSnapshotCatchUpAfterLongPartition(t *testing.T) {
+	cl := compactingBankCluster(t, UnrestrictedReads)
+	defer cl.Shutdown()
+	cl.Net().Partition([]netsim.NodeID{0, 1}, []netsim.NodeID{2})
+	const updates = 30
+	incrementF0(cl, updates)
+	if base := cl.Node(1).Broadcaster().Base(0); base == 0 {
+		t.Fatal("survivors never truncated; the laggard still gates the watermark")
+	}
+	if v, _ := cl.Node(2).Store().Get("F0/a"); v != int64(0) {
+		t.Fatalf("partitioned node saw updates: %v", v)
+	}
+	cl.Net().Heal()
+	if !cl.Settle(30 * time.Second) {
+		t.Fatal("did not settle after heal")
+	}
+	if got := cl.BroadcastStats().SnapshotsInstalled.Load(); got == 0 {
+		t.Fatal("laggard caught up without a snapshot — horizon not exercised")
+	}
+	if v, _ := cl.Node(2).Store().Get("F0/a"); v != int64(updates) {
+		t.Errorf("caught-up node F0/a = %v, want %d", v, updates)
+	}
+	if err := cl.CheckMutualConsistency(); err != nil {
+		t.Error(err)
+	}
+	// The caught-up node must ride along afterwards through normal
+	// delivery.
+	incrementF0(cl, 3)
+	if !cl.Settle(10 * time.Second) {
+		t.Fatal("did not settle after post-snapshot updates")
+	}
+	if v, _ := cl.Node(2).Store().Get("F0/a"); v != int64(updates+3) {
+		t.Errorf("post-snapshot update missed: F0/a = %v", v)
+	}
+}
+
+// TestCrashRestartFromSnapshotAndTail: a node whose state arrived via
+// snapshot has no WAL records for the compacted region; after a crash
+// it must rebuild from WAL + snapshot journal + the retained broadcast
+// tail. Without the journal replay the rebuilt stream position falls
+// below the broadcast horizon and the tail wedges in the pending
+// buffer.
+func TestCrashRestartFromSnapshotAndTail(t *testing.T) {
+	cl := compactingBankCluster(t, UnrestrictedReads)
+	defer cl.Shutdown()
+	cl.Net().Partition([]netsim.NodeID{0, 1}, []netsim.NodeID{2})
+	const updates = 30
+	incrementF0(cl, updates)
+	cl.Net().Heal()
+	if !cl.Settle(30 * time.Second) {
+		t.Fatal("did not settle after heal")
+	}
+	if cl.BroadcastStats().SnapshotsInstalled.Load() == 0 {
+		t.Fatal("setup vacuous: no snapshot was installed")
+	}
+
+	cl.Node(2).SimulateCrashRestart()
+	incrementF0(cl, 3)
+	if !cl.Settle(30 * time.Second) {
+		t.Fatal("did not settle after crash-restart")
+	}
+	if got := cl.BufferedQuasiCount(); got != 0 {
+		t.Fatalf("%d quasi-transactions wedged after restart from snapshot", got)
+	}
+	if v, _ := cl.Node(2).Store().Get("F0/a"); v != int64(updates+3) {
+		t.Errorf("restarted node F0/a = %v, want %d", v, updates+3)
+	}
+	if err := cl.CheckMutualConsistency(); err != nil {
+		t.Error(err)
+	}
+}

@@ -73,6 +73,36 @@ func (c *Counters) String() string {
 		c.TimedOut.Load(), c.Rejected.Load(), c.Availability())
 }
 
+// Broadcast aggregates the reliable broadcast's memory and catch-up
+// statistics. All fields are atomic, so one Broadcast value may be
+// shared by every node of a cluster: the gauges then report
+// cluster-wide totals.
+type Broadcast struct {
+	// LogEntries gauges retained log entries across all streams — the
+	// quantity the compaction horizon bounds.
+	LogEntries atomic.Int64
+	// LogBytes gauges retained payload bytes (only measured when a
+	// SizeOf function is configured).
+	LogBytes atomic.Int64
+	// CompactedSeqs counts sequence numbers truncated below the stable
+	// watermark.
+	CompactedSeqs atomic.Uint64
+	// SnapshotsSent / SnapshotsInstalled count snapshot catch-up offers
+	// served and accepted.
+	SnapshotsSent      atomic.Uint64
+	SnapshotsInstalled atomic.Uint64
+	// PendingDropped counts out-of-order arrivals discarded beyond the
+	// bounded pending window (anti-entropy redelivers them later).
+	PendingDropped atomic.Uint64
+}
+
+// String renders the broadcast gauges and counters on one line.
+func (b *Broadcast) String() string {
+	return fmt.Sprintf("log-entries=%d log-bytes=%d compacted=%d snapshots=%d/%d pending-dropped=%d",
+		b.LogEntries.Load(), b.LogBytes.Load(), b.CompactedSeqs.Load(),
+		b.SnapshotsInstalled.Load(), b.SnapshotsSent.Load(), b.PendingDropped.Load())
+}
+
 // Chaos aggregates the counters of a chaoskit campaign: plans run,
 // invariant checks passed and failed, fault and shrink work. One Chaos
 // value is shared by all sweep workers (fields are atomic), so

@@ -70,11 +70,17 @@ func (nw *Network) Send(from, to netsim.NodeID, payload any) {
 	nw.mu.RLock()
 	ok := !nw.closed && !nw.down[from] && !nw.down[to] &&
 		(from == to || !nw.cut[from][to])
+	if ok {
+		// Register the in-flight delivery while still holding the lock
+		// that proved closed==false: the Add then happens-before Close's
+		// exclusive Lock, so Close's Wait cannot have started yet
+		// (Add-after-Wait is a WaitGroup misuse and raced under -race).
+		nw.inflight.Add(1)
+	}
 	nw.mu.RUnlock()
 	if !ok {
 		return
 	}
-	nw.inflight.Add(1)
 	time.AfterFunc(nw.latency, func() {
 		defer nw.inflight.Done()
 		nw.mu.RLock()

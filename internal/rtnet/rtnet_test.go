@@ -2,6 +2,7 @@ package rtnet
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -105,73 +106,140 @@ func TestCloseDropsAndDrains(t *testing.T) {
 // TestBroadcastOverRealTime runs the reliable broadcast live on
 // goroutines: messages sent during a partition must be repaired by
 // anti-entropy after the heal, exactly as in the simulation. The
-// broadcaster is single-owner state, so a per-node mutex serializes
-// handler invocations.
+// broadcaster synchronizes internally, so the wall-clock gossip timer
+// and the transport's delivery goroutines need no external locking.
 func TestBroadcastOverRealTime(t *testing.T) {
 	nw := New(3, time.Millisecond)
 	defer nw.Close()
-	type node struct {
-		mu sync.Mutex
-		b  *broadcast.Broadcaster
-		n  int
-	}
-	nodes := make([]*node, 3)
+	bs := make([]*broadcast.Broadcaster, 3)
 	for i := 0; i < 3; i++ {
 		i := i
-		nd := &node{}
-		nodes[i] = nd
-		// Gossip is driven manually under each node's mutex (the
-		// built-in timer would race with handler invocations in
-		// real-time mode).
-		nd.b = broadcast.New(netsim.NodeID(i), nw, nil,
-			broadcast.Config{},
-			func(origin netsim.NodeID, seq uint64, payload any) {
-				nd.n++ // already under nd.mu via the transport handler
-			})
+		bs[i] = broadcast.New(netsim.NodeID(i), nw, broadcast.WallTimer{},
+			broadcast.Config{GossipInterval: int64(10 * time.Millisecond)},
+			func(origin netsim.NodeID, seq uint64, payload any) {})
 		nw.SetHandler(netsim.NodeID(i), func(from netsim.NodeID, payload any) {
-			nd.mu.Lock()
-			defer nd.mu.Unlock()
-			nd.b.HandleMessage(from, payload)
+			bs[i].HandleMessage(from, payload)
 		})
 	}
-	stop := make(chan struct{})
-	defer close(stop)
-	go func() {
-		tick := time.NewTicker(10 * time.Millisecond)
-		defer tick.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-tick.C:
-				for _, nd := range nodes {
-					nd.mu.Lock()
-					nd.b.Gossip()
-					nd.mu.Unlock()
-				}
-			}
+	defer func() {
+		for _, b := range bs {
+			b.Stop()
 		}
 	}()
 
 	// Partition node 2 away, send, heal, expect repair.
 	nw.Partition([]netsim.NodeID{0, 1}, []netsim.NodeID{2})
-	nodes[0].mu.Lock()
-	nodes[0].b.Send("during")
-	nodes[0].mu.Unlock()
+	bs[0].Send("during")
 	time.Sleep(30 * time.Millisecond)
-	nodes[2].mu.Lock()
-	missed := nodes[2].b.Prefix(0) == 0
-	nodes[2].mu.Unlock()
-	if !missed {
+	if bs[2].Prefix(0) != 0 {
 		t.Fatal("partitioned node received the message")
 	}
 	nw.Heal()
-	ok := waitFor(t, func() bool {
-		nodes[2].mu.Lock()
-		defer nodes[2].mu.Unlock()
-		return nodes[2].b.Prefix(0) == 1
-	}, 5*time.Second)
+	ok := waitFor(t, func() bool { return bs[2].Prefix(0) == 1 }, 5*time.Second)
 	if !ok {
 		t.Fatal("anti-entropy did not repair over real time")
+	}
+}
+
+// TestSendCloseRace hammers Send concurrently with Close. The
+// regression: Send registered its in-flight delivery with the
+// WaitGroup after releasing the lock that observed closed==false, so
+// an Add could race Close's Wait (a WaitGroup misuse) and deliveries
+// could fire after Close returned. Run under -race.
+func TestSendCloseRace(t *testing.T) {
+	for iter := 0; iter < 30; iter++ {
+		nw := New(2, 100*time.Microsecond)
+		var closedAt atomic.Int64
+		nw.SetHandler(1, func(from netsim.NodeID, payload any) {
+			if closedAt.Load() != 0 {
+				t.Error("delivery after Close returned")
+			}
+		})
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 200; i++ {
+					nw.Send(0, 1, i)
+				}
+			}()
+		}
+		close(start)
+		time.Sleep(time.Duration(iter%4) * 200 * time.Microsecond)
+		nw.Close()
+		closedAt.Store(1)
+		wg.Wait()
+	}
+}
+
+// TestRealTimeGossipConcurrency runs a live cluster with the built-in
+// wall-clock gossip timer while multiple goroutines send and the
+// network partitions and heals — the timer goroutine, delivery
+// goroutines, and senders all touch broadcaster state concurrently.
+// The regression: the broadcaster demanded "external synchronization"
+// that no real-time caller provided. Run under -race.
+func TestRealTimeGossipConcurrency(t *testing.T) {
+	const n = 3
+	nw := New(n, 500*time.Microsecond)
+	defer nw.Close()
+	bs := make([]*broadcast.Broadcaster, n)
+	for i := 0; i < n; i++ {
+		i := i
+		bs[i] = broadcast.New(netsim.NodeID(i), nw, broadcast.WallTimer{},
+			broadcast.Config{GossipInterval: int64(2 * time.Millisecond), Compaction: true, CompactRetain: 8},
+			func(origin netsim.NodeID, seq uint64, payload any) {})
+		nw.SetHandler(netsim.NodeID(i), func(from netsim.NodeID, payload any) {
+			bs[i].HandleMessage(from, payload)
+		})
+	}
+	defer func() {
+		for _, b := range bs {
+			b.Stop()
+		}
+	}()
+
+	const perSender = 50
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				bs[s].Send(i)
+				time.Sleep(200 * time.Microsecond)
+			}
+		}()
+	}
+	// Fault schedule concurrent with the send load.
+	time.Sleep(3 * time.Millisecond)
+	nw.Partition([]netsim.NodeID{0, 1}, []netsim.NodeID{2})
+	time.Sleep(5 * time.Millisecond)
+	nw.Heal()
+	wg.Wait()
+
+	ok := waitFor(t, func() bool {
+		for origin := 0; origin < n; origin++ {
+			if bs[origin].Prefix(netsim.NodeID(origin)) != perSender {
+				return false
+			}
+			for node := 0; node < n; node++ {
+				if bs[node].Prefix(netsim.NodeID(origin)) != perSender {
+					return false
+				}
+			}
+		}
+		return true
+	}, 10*time.Second)
+	if !ok {
+		for node := 0; node < n; node++ {
+			for origin := 0; origin < n; origin++ {
+				t.Logf("node %d prefix(origin %d) = %d", node, origin, bs[node].Prefix(netsim.NodeID(origin)))
+			}
+		}
+		t.Fatal("real-time cluster did not converge")
 	}
 }

@@ -196,6 +196,39 @@ func (s *Store) InstallFragmentSnapshot(frag fragments.FragmentID, snap map[frag
 	}
 }
 
+// VersionSnapshot returns a copy of every object's full version record
+// (used by snapshot catch-up, which needs Pos provenance to merge).
+func (s *Store) VersionSnapshot() map[fragments.ObjectID]Version {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[fragments.ObjectID]Version, len(s.vals))
+	for o, v := range s.vals {
+		out[o] = v
+	}
+	return out
+}
+
+// MergeSnapshot folds a peer's version snapshot into the store, keeping
+// for each object whichever version is later in its fragment's update
+// stream (positions within one stream are totally ordered, so the
+// comparison is a true dominance test: the receiver may be ahead of the
+// snapshot on streams it originates). Snapshot installation is not a
+// stream event, so no WAL record is appended — durability of installed
+// snapshots is the caller's concern. Returns how many objects changed.
+func (s *Store) MergeSnapshot(snap map[fragments.ObjectID]Version) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	changed := 0
+	for o, v := range snap {
+		cur, ok := s.vals[o]
+		if !ok || cur.Pos.Less(v.Pos) {
+			s.vals[o] = v
+			changed++
+		}
+	}
+	return changed
+}
+
 // Diff returns the objects whose current values differ between the two
 // stores (missing counts as different), in sorted order. Values are
 // compared with reflect.DeepEqual so composite values work.

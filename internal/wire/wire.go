@@ -35,6 +35,10 @@ func RegisterDefaults() {
 		gob.Register(txn.WriteOp{})
 		gob.Register(broadcast.Data{})
 		gob.Register(broadcast.Digest{})
+		// SnapshotOffer itself is registered; its State field may hold an
+		// unexported application type, in which case Size reports 0 for
+		// the offer (the simulation never ships real bytes).
+		gob.Register(broadcast.SnapshotOffer{})
 		gob.Register(int64(0))
 		gob.Register("")
 		gob.Register(true)
