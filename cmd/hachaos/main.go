@@ -29,14 +29,15 @@ import (
 
 func main() {
 	var (
-		seeds   = flag.Int("seeds", 64, "seeds per profile")
-		start   = flag.Int64("start", 1, "first seed")
-		profile = flag.String("profile", "all", `profiles to sweep: comma list of readlocks,acyclic,unrestricted,moving,bank, or "all"`)
-		workers = flag.Int("workers", runtime.NumCPU(), "parallel plan executions")
-		shrink  = flag.Bool("shrink", false, "minimize failing plans")
-		out     = flag.String("out", "", "directory for reproducer bundles (implies -shrink)")
-		replay  = flag.Int64("replay", 0, "re-run the single plan with this seed (requires one -profile)")
-		verbose = flag.Bool("v", false, "print one line per plan")
+		seeds    = flag.Int("seeds", 64, "seeds per profile")
+		start    = flag.Int64("start", 1, "first seed")
+		profile  = flag.String("profile", "all", `profiles to sweep: comma list of readlocks,acyclic,unrestricted,moving,bank, or "all"`)
+		workers  = flag.Int("workers", runtime.NumCPU(), "parallel plan executions")
+		shrink   = flag.Bool("shrink", false, "minimize failing plans")
+		out      = flag.String("out", "", "directory for reproducer bundles (implies -shrink)")
+		replay   = flag.Int64("replay", 0, "re-run the single plan with this seed (requires one -profile)")
+		verbose  = flag.Bool("v", false, "print one line per plan")
+		traceCap = flag.Int("trace", 0, "per-node flight-recorder capacity (0 disables); failing plans dump their trailing trace")
 	)
 	flag.Parse()
 
@@ -59,10 +60,13 @@ func main() {
 		if *verbose {
 			fmt.Println(plan.GoLiteral())
 		}
-		rep := chaoskit.Execute(plan, chaoskit.RunOpts{})
+		rep := chaoskit.Execute(plan, chaoskit.RunOpts{TraceCap: *traceCap})
 		fmt.Println(rep.String())
 		for _, c := range rep.Failures() {
 			fmt.Printf("  %-22s %v\n", c.Name, c.Err)
+		}
+		if rep.Trace != "" {
+			fmt.Println(rep.Trace)
 		}
 		if rep.Failed() {
 			os.Exit(1)
@@ -76,6 +80,7 @@ func main() {
 		Chaos:    chaos,
 		Shrink:   *shrink || *out != "",
 		ReproDir: *out,
+		TraceCap: *traceCap,
 	}
 	if *verbose {
 		opts.Log = func(line string) { fmt.Println(line) }
@@ -91,6 +96,9 @@ func main() {
 		fmt.Printf("FAIL %s\n", rep.String())
 		for _, c := range rep.Failures() {
 			fmt.Printf("  %-22s %v\n", c.Name, c.Err)
+		}
+		if rep.Trace != "" {
+			fmt.Println(rep.Trace)
 		}
 	}
 	for _, sr := range res.Shrinks {

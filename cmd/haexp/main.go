@@ -40,11 +40,13 @@ var titles = map[string]string{
 
 func main() {
 	var (
-		which = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		seed  = flag.Int64("seed", 42, "deterministic simulation seed")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		which    = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		seed     = flag.Int64("seed", 42, "deterministic simulation seed")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		traceCap = flag.Int("trace", 0, "per-node flight-recorder capacity (0 disables); instrumented experiments print trailing trace dumps")
 	)
 	flag.Parse()
+	exp.TraceCap = *traceCap
 
 	all := exp.All()
 	if *list {
@@ -69,6 +71,9 @@ func main() {
 		ran++
 		r := e.Run(*seed)
 		fmt.Println(r.Table())
+		for _, d := range r.TraceDumps {
+			fmt.Println(d)
+		}
 		if !r.Pass {
 			failed++
 		}

@@ -29,6 +29,7 @@ import (
 	"fragdb/internal/netsim"
 	"fragdb/internal/simtime"
 	"fragdb/internal/storage"
+	"fragdb/internal/trace"
 	"fragdb/internal/txn"
 )
 
@@ -51,6 +52,19 @@ type Result struct {
 	Completed  bool
 	Err        error
 	Start, End simtime.Time
+}
+
+// emit records a movement-protocol event in a node's flight recorder
+// (a no-op when the cluster runs without tracing).
+func emit(cl *core.Cluster, node netsim.NodeID, e trace.Event) {
+	if tr := cl.Trace(node); tr.Enabled() {
+		tr.Emit(e)
+	}
+}
+
+// moveNote labels a movement event with its protocol and agent.
+func moveNote(protocol string, agent fragments.AgentID) string {
+	return protocol + " " + string(agent)
 }
 
 // plan validates the move and returns the source node and fragment set.
@@ -87,6 +101,8 @@ func MoveWithData(cl *core.Cluster, agent fragments.AgentID, to netsim.NodeID,
 		return
 	}
 	src, dst := cl.Node(from), cl.Node(to)
+	emit(cl, from, trace.Event{Kind: trace.KMoveBegin, Peer: to, HasPeer: true,
+		Note: moveNote("with-data", agent)})
 	snaps := make(map[fragments.FragmentID]map[fragments.ObjectID]storage.Version, len(fs))
 	poss := make(map[fragments.FragmentID]txn.FragPos, len(fs))
 	for _, f := range fs {
@@ -106,6 +122,8 @@ func MoveWithData(cl *core.Cluster, agent fragments.AgentID, to netsim.NodeID,
 		for _, f := range fs {
 			src.SetMoveBlocked(f, false)
 		}
+		emit(cl, to, trace.Event{Kind: trace.KMoveDone, Peer: from, HasPeer: true,
+			Note: moveNote("with-data", agent)})
 		if done != nil {
 			done(Result{Agent: agent, From: from, To: to, Completed: true, Start: start, End: cl.Now()})
 		}
@@ -129,6 +147,8 @@ func MoveWithSeq(cl *core.Cluster, agent fragments.AgentID, to netsim.NodeID,
 		return
 	}
 	src, dst := cl.Node(from), cl.Node(to)
+	emit(cl, from, trace.Event{Kind: trace.KMoveBegin, Peer: to, HasPeer: true,
+		Note: moveNote("with-seq", agent)})
 	poss := make(map[fragments.FragmentID]txn.FragPos, len(fs))
 	for _, f := range fs {
 		src.SetMoveBlocked(f, true)
@@ -145,6 +165,8 @@ func MoveWithSeq(cl *core.Cluster, agent fragments.AgentID, to netsim.NodeID,
 		for _, f := range fs {
 			src.SetMoveBlocked(f, false)
 		}
+		emit(cl, to, trace.Event{Kind: trace.KMoveDone, Peer: from, HasPeer: true,
+			Note: moveNote("with-seq", agent)})
 		if done != nil {
 			done(Result{Agent: agent, From: from, To: to, Completed: true, Start: start, End: cl.Now()})
 		}
@@ -157,6 +179,8 @@ func MoveWithSeq(cl *core.Cluster, agent fragments.AgentID, to netsim.NodeID,
 		for _, f := range fs {
 			src.SetMoveBlocked(f, false) // agent stays put, resumes at old home
 		}
+		emit(cl, from, trace.Event{Kind: trace.KMoveFail, Peer: to, HasPeer: true,
+			Err: ErrMoveTimeout.Error(), Note: moveNote("with-seq", agent)})
 		if done != nil {
 			done(Result{Agent: agent, From: from, To: to, Err: ErrMoveTimeout, Start: start, End: cl.Now()})
 		}
@@ -190,10 +214,14 @@ func MoveNoPrep(cl *core.Cluster, agent fragments.AgentID, to netsim.NodeID, don
 		}
 		return
 	}
+	emit(cl, from, trace.Event{Kind: trace.KMoveBegin, Peer: to, HasPeer: true,
+		Note: moveNote("no-prep", agent)})
 	cl.Tokens().MoveAgent(agent, to)
 	for _, f := range fs {
 		cl.Node(to).BeginNoPrepEpoch(f)
 	}
+	emit(cl, to, trace.Event{Kind: trace.KMoveDone, Peer: from, HasPeer: true,
+		Note: moveNote("no-prep", agent)})
 	if done != nil {
 		done(Result{Agent: agent, From: from, To: to, Completed: true, Start: start, End: cl.Now()})
 	}
@@ -223,6 +251,8 @@ func MoveMajority(cl *core.Cluster, agent fragments.AgentID, to netsim.NodeID,
 		return
 	}
 	src, dst := cl.Node(from), cl.Node(to)
+	emit(cl, from, trace.Event{Kind: trace.KMoveBegin, Peer: to, HasPeer: true,
+		Note: moveNote("majority", agent)})
 	for _, f := range fs {
 		src.SetMoveBlocked(f, true)
 		// The majority reconstruction bounds only committed transactions;
@@ -250,6 +280,8 @@ func MoveMajority(cl *core.Cluster, agent fragments.AgentID, to netsim.NodeID,
 		for _, f := range fs {
 			src.SetMoveBlocked(f, false)
 		}
+		emit(cl, from, trace.Event{Kind: trace.KMoveFail, Peer: to, HasPeer: true,
+			Err: ErrMoveTimeout.Error(), Note: moveNote("majority", agent)})
 		if done != nil {
 			done(Result{Agent: agent, From: from, To: to, Err: ErrMoveTimeout, Start: start, End: cl.Now()})
 		}
@@ -265,6 +297,8 @@ func MoveMajority(cl *core.Cluster, agent fragments.AgentID, to netsim.NodeID,
 		for _, f := range fs {
 			src.SetMoveBlocked(f, false)
 		}
+		emit(cl, to, trace.Event{Kind: trace.KMoveDone, Peer: from, HasPeer: true,
+			Note: moveNote("majority", agent)})
 		if done != nil {
 			done(Result{Agent: agent, From: from, To: to, Completed: true, Start: start, End: cl.Now()})
 		}

@@ -5,6 +5,7 @@ import (
 	"fragdb/internal/fragments"
 	"fragdb/internal/netsim"
 	"fragdb/internal/simtime"
+	"fragdb/internal/trace"
 	"fragdb/internal/txn"
 )
 
@@ -39,6 +40,8 @@ func ElectAgent(cl *core.Cluster, f fragments.FragmentID, newAgent fragments.Age
 		return
 	}
 	node := cl.Node(at)
+	emit(cl, at, trace.Event{Kind: trace.KElect, Frag: f,
+		Note: moveNote("elect", newAgent)})
 	majority := cl.Config().N/2 + 1
 	answered := map[netsim.NodeID]bool{at: true}
 	maxPos := node.StreamPos(f)
@@ -50,10 +53,14 @@ func ElectAgent(cl *core.Cluster, f fragments.FragmentID, newAgent fragments.Age
 		}
 		decided = true
 		node.EndQuery(qid)
+		emit(cl, at, trace.Event{Kind: trace.KMoveFail, Frag: f,
+			Err: ErrMoveTimeout.Error(), Note: moveNote("elect", newAgent)})
 		fail(ErrMoveTimeout)
 	})
 	finish := func() {
 		cl.Tokens().Assign(f, newAgent, at)
+		emit(cl, at, trace.Event{Kind: trace.KMoveDone, Frag: f,
+			Note: moveNote("elect", newAgent)})
 		if done != nil {
 			done(Result{Agent: newAgent, To: at, Completed: true, Start: start, End: cl.Now()})
 		}

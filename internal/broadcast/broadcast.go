@@ -45,6 +45,7 @@ import (
 
 	"fragdb/internal/metrics"
 	"fragdb/internal/netsim"
+	"fragdb/internal/trace"
 )
 
 // Data is a broadcast payload in flight, tagged with its origin stream
@@ -152,6 +153,11 @@ type Config struct {
 	// SizeOf, if non-nil, measures payloads for the LogBytes gauge
 	// (e.g. wire.Size). Nil skips byte accounting.
 	SizeOf func(payload any) int
+	// Trace, if non-nil, records housekeeping events (compaction,
+	// snapshot offers and installs, pending-window drops) in the owning
+	// node's flight recorder. The recorder never calls back into the
+	// broadcaster, so emitting under the broadcaster's lock is safe.
+	Trace *trace.Recorder
 }
 
 func (c Config) compactRetain() uint64 {
@@ -509,6 +515,10 @@ func (b *Broadcaster) compactLocked() {
 			continue
 		}
 		drop := int(wm - s.base)
+		if t := b.cfg.Trace; t.Enabled() {
+			t.Emit(trace.Event{Kind: trace.KCompact, Peer: o, HasPeer: true,
+				Seq: wm, Arg: int64(drop)})
+		}
 		if m := b.cfg.Metrics; m != nil {
 			m.CompactedSeqs.Add(uint64(drop))
 			m.LogEntries.Add(-int64(drop))
@@ -570,6 +580,10 @@ func (b *Broadcaster) receive(m Data) {
 		if w := b.cfg.pendingWindow(); w > 0 && m.Seq > prefix+w {
 			// Beyond the out-of-order window: drop. The sender's digest
 			// exchange will re-ship it once the gap closes.
+			if t := b.cfg.Trace; t.Enabled() {
+				t.Emit(trace.Event{Kind: trace.KPendingDrop,
+					Peer: m.Origin, HasPeer: true, Seq: m.Seq})
+			}
 			if m := b.cfg.Metrics; m != nil {
 				m.PendingDropped.Add(1)
 			}
@@ -669,6 +683,9 @@ func (b *Broadcaster) offerSnapshot(to netsim.NodeID) {
 		have[o] = b.delivered[o]
 	}
 	b.tr.Send(b.node, to, SnapshotOffer{Have: have, State: state})
+	if t := b.cfg.Trace; t.Enabled() {
+		t.Emit(trace.Event{Kind: trace.KSnapOffer, Peer: to, HasPeer: true})
+	}
 	if m := b.cfg.Metrics; m != nil {
 		m.SnapshotsSent.Add(1)
 	}
@@ -734,6 +751,9 @@ func (b *Broadcaster) installOffer(m SnapshotOffer) {
 		b.deliverQ = append(b.deliverQ, delivery{
 			install: &installJob{state: m.State, have: have, prev: prev},
 		})
+	}
+	if t := b.cfg.Trace; t.Enabled() {
+		t.Emit(trace.Event{Kind: trace.KSnapAccept})
 	}
 	if mt := b.cfg.Metrics; mt != nil {
 		mt.SnapshotsInstalled.Add(1)

@@ -54,6 +54,12 @@ type Report struct {
 	// DOT is the global serialization graph (Graphviz), captured only
 	// when some check failed, for repro dumps.
 	DOT string
+	// Trace is the per-node flight-recorder dump (trailing window),
+	// captured only when some check failed and RunOpts.TraceCap was
+	// positive. It shows each node's causal event history — submit,
+	// lock wait/grant/wound, quasi broadcast, remote apply, commit or
+	// abort with cause — leading up to the failure.
+	Trace string
 }
 
 // Failed reports whether any check failed.
@@ -101,7 +107,15 @@ type RunOpts struct {
 	// sabotage that corrupts one replica must be caught by the auditor
 	// and survive shrinking, proving the harness can actually fail.
 	Sabotage func(cl *core.Cluster, p Plan)
+	// TraceCap, when positive, arms a per-node flight recorder of that
+	// capacity; if the audit fails, the trailing trace window of every
+	// node is dumped into Report.Trace for the repro bundle.
+	TraceCap int
 }
+
+// traceDumpTail is how many trailing events per node a failing audit
+// dumps into Report.Trace.
+const traceDumpTail = 120
 
 func fragID(i int) fragments.FragmentID {
 	return fragments.FragmentID(fmt.Sprintf("f%d", i))
@@ -194,6 +208,7 @@ func executeCounters(p Plan, opts RunOpts) *Report {
 		CompactRetain:  chaosCompactRetain,
 		LossProb:       p.LossProb,
 		TxnTimeout:     txnTimeout,
+		TraceCap:       opts.TraceCap,
 	})
 	for i := 0; i < p.Frags; i++ {
 		if err := cl.Catalog().AddFragment(fragID(i), ctrObj(i)); err != nil {
@@ -346,6 +361,9 @@ func executeCounters(p Plan, opts RunOpts) *Report {
 		}
 		return out
 	})
+	if rep.Failed() && opts.TraceCap > 0 {
+		rep.Trace = cl.TraceDump(traceDumpTail)
+	}
 	cl.Shutdown()
 	return rep
 }
@@ -371,6 +389,7 @@ func executeBank(p Plan, opts RunOpts) *Report {
 			CompactRetain: chaosCompactRetain,
 			LossProb:      p.LossProb,
 			TxnTimeout:    txnTimeout,
+			TraceCap:      opts.TraceCap,
 		},
 		CentralNode:    0,
 		Accounts:       accounts,
@@ -447,6 +466,9 @@ func executeBank(p Plan, opts RunOpts) *Report {
 		}
 		return []Check{{Name: "conservation"}}
 	})
+	if rep.Failed() && opts.TraceCap > 0 {
+		rep.Trace = cl.TraceDump(traceDumpTail)
+	}
 	cl.Shutdown()
 	return rep
 }

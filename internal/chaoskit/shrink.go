@@ -223,5 +223,10 @@ func WriteRepro(dir string, res ShrinkResult) (string, error) {
 			return "", err
 		}
 	}
+	if res.MinimalReport.Trace != "" {
+		if err := os.WriteFile(filepath.Join(dir, base+".trace.txt"), []byte(res.MinimalReport.Trace), 0o644); err != nil {
+			return "", err
+		}
+	}
 	return planPath, nil
 }

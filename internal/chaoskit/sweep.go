@@ -26,6 +26,10 @@ type SweepOpts struct {
 	// Sabotage is passed through to every execution (tests of the
 	// harness itself).
 	Sabotage func(cl *core.Cluster, p Plan)
+	// TraceCap arms the per-node flight recorder on every execution
+	// (see RunOpts.TraceCap); failing plans then carry their trailing
+	// trace window into the repro bundle.
+	TraceCap int
 	// Log, if non-nil, receives one progress line per plan.
 	Log func(string)
 }
@@ -73,7 +77,7 @@ func Sweep(profiles []Profile, startSeed int64, perProfile int, opts SweepOpts) 
 	}
 
 	res := &SweepResult{Reports: make([]*Report, len(jobs))}
-	runOpts := RunOpts{Chaos: opts.Chaos, Sabotage: opts.Sabotage}
+	runOpts := RunOpts{Chaos: opts.Chaos, Sabotage: opts.Sabotage, TraceCap: opts.TraceCap}
 
 	ch := make(chan job)
 	var wg sync.WaitGroup

@@ -1,0 +1,123 @@
+package chaoskit
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fragdb/internal/core"
+	"fragdb/internal/netsim"
+)
+
+// traceRegressPlan is a minimal deterministic scenario: one fragment
+// homed at node 0, a few increments, no faults. Every increment commits
+// and propagates, so the flight recorder sees the full lifecycle of
+// every transaction.
+func traceRegressPlan() Plan {
+	return Plan{
+		Seed: 1, Profile: "trace-regress", Option: core.UnrestrictedReads,
+		N: 3, Frags: 1,
+		Horizon: 600 * time.Millisecond,
+		Steps: []Step{
+			{At: 100 * time.Millisecond, Frag: 0, Kind: StepUpdate},
+			{At: 150 * time.Millisecond, Frag: 0, Kind: StepUpdate},
+			{At: 200 * time.Millisecond, Frag: 0, Kind: StepUpdate},
+			{At: 250 * time.Millisecond, Frag: 0, Kind: StepUpdate},
+		},
+	}
+}
+
+// corruptIfCommitted overwrites one replica's counter, but only when at
+// least one increment actually committed. The conditionality matters
+// for the shrink assertion below: a plan with no committed work passes,
+// so the shrinker must keep at least one increment in the minimal plan
+// — and with it, that transaction's full trace.
+func corruptIfCommitted(cl *core.Cluster, p Plan) {
+	victim := netsim.NodeID(p.N - 1)
+	v, _ := cl.Node(victim).Store().Get(ctrObj(0))
+	if got, _ := v.(int64); got > 0 {
+		if err := cl.Node(victim).Store().Load(ctrObj(0), int64(987654)); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// hasEvent reports whether some trace line mentions both the event kind
+// and the transaction id.
+func hasEvent(dump, kind, txn string) bool {
+	for _, line := range strings.Split(dump, "\n") {
+		if strings.Contains(line, kind) && strings.Contains(line, txn) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFailureDumpsCausalTrace is the failure-time diagnostics contract:
+// when an invariant check fails under an armed flight recorder, the
+// report carries every node's trailing trace window, and the dump shows
+// the offending transaction's full lifecycle — submit, quasi broadcast,
+// commit at the home, and remote application at the replicas.
+func TestFailureDumpsCausalTrace(t *testing.T) {
+	opts := RunOpts{Sabotage: corruptIfCommitted, TraceCap: 4096}
+	rep := Execute(traceRegressPlan(), opts)
+	if !rep.Failed() {
+		t.Fatal("auditor missed the corrupted replica")
+	}
+	if rep.Trace == "" {
+		t.Fatal("failing report with TraceCap set carries no trace dump")
+	}
+	for n := 0; n < 3; n++ {
+		if !strings.Contains(rep.Trace, "--- node "+string(rune('0'+n))) {
+			t.Errorf("trace dump missing node %d section", n)
+		}
+	}
+	// The first increment is transaction 1 at the home node 0.
+	const id = "T(N0#1)"
+	for _, kind := range []string{"submit", "quasi-send", "commit", "quasi-apply"} {
+		if !hasEvent(rep.Trace, kind, id) {
+			t.Errorf("trace dump missing %s event for %s:\n%s", kind, id, rep.Trace)
+		}
+	}
+}
+
+// TestTraceDisabledByDefault pins the zero-cost contract at the harness
+// level: without TraceCap even a failing report carries no trace.
+func TestTraceDisabledByDefault(t *testing.T) {
+	rep := Execute(traceRegressPlan(), RunOpts{Sabotage: corruptIfCommitted})
+	if !rep.Failed() {
+		t.Fatal("auditor missed the corrupted replica")
+	}
+	if rep.Trace != "" {
+		t.Fatalf("trace captured with TraceCap unset:\n%s", rep.Trace)
+	}
+}
+
+// TestReproBundleCarriesTrace runs the shrinker on the failing plan and
+// asserts the reproducer bundle includes the per-node trace artifact,
+// still showing a complete transaction lifecycle (the conditional
+// sabotage forces the minimal plan to keep a committed increment).
+func TestReproBundleCarriesTrace(t *testing.T) {
+	opts := RunOpts{Sabotage: corruptIfCommitted, TraceCap: 4096}
+	res := Shrink(traceRegressPlan(), opts, 0)
+	if res.MinimalReport.Trace == "" {
+		t.Fatal("minimal report lost the trace dump")
+	}
+	dir := t.TempDir()
+	if _, err := WriteRepro(dir, res); err != nil {
+		t.Fatalf("WriteRepro: %v", err)
+	}
+	tracePath := filepath.Join(dir, "seed1_trace-regress.trace.txt")
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("repro bundle missing trace artifact: %v", err)
+	}
+	dump := string(data)
+	for _, kind := range []string{"submit", "quasi-send", "commit", "quasi-apply"} {
+		if !strings.Contains(dump, kind) {
+			t.Errorf("repro trace artifact missing %s event:\n%s", kind, dump)
+		}
+	}
+}

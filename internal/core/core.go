@@ -29,6 +29,7 @@ import (
 	"fragdb/internal/metrics"
 	"fragdb/internal/netsim"
 	"fragdb/internal/simtime"
+	"fragdb/internal/trace"
 	"fragdb/internal/txn"
 )
 
@@ -143,6 +144,11 @@ type Config struct {
 	// package defaults).
 	CompactRetain  int
 	PeerLiveRounds int
+	// TraceCap, when positive, enables the per-node flight recorder with
+	// a ring buffer of that many events per node (see internal/trace).
+	// Zero disables tracing entirely: no events are constructed and the
+	// hot paths pay only a nil check.
+	TraceCap int
 }
 
 func (c *Config) fillDefaults() {
@@ -190,6 +196,10 @@ type Cluster struct {
 	stats  *metrics.Counters
 	bstats *metrics.Broadcast
 	nodes  []*Node
+
+	// tracers holds one flight recorder per node when Config.TraceCap is
+	// positive; all nil entries otherwise (a nil Recorder is inert).
+	tracers []*trace.Recorder
 
 	// onRecovered, if set, is invoked at a moved agent's new home node
 	// whenever a missing transaction is recovered and repackaged. The
@@ -263,6 +273,12 @@ func NewCluster(cfg Config) *Cluster {
 	cl.net = netsim.New(cl.sched, cfg.N, opts...)
 	cl.rag = fragments.NewReadAccessGraph(cl.cat)
 	cl.rec = history.NewRecorder(cl.cat)
+	cl.tracers = make([]*trace.Recorder, cfg.N)
+	if cfg.TraceCap > 0 {
+		for i := range cl.tracers {
+			cl.tracers[i] = trace.NewRecorder(netsim.NodeID(i), cfg.TraceCap, cl.sched.Now)
+		}
+	}
 	return cl
 }
 
@@ -284,6 +300,15 @@ func (cl *Cluster) Stats() *metrics.Counters { return cl.stats }
 // BroadcastStats returns the cluster-wide broadcast gauges (retained
 // log entries, compaction and snapshot-catch-up counters).
 func (cl *Cluster) BroadcastStats() *metrics.Broadcast { return cl.bstats }
+
+// Trace returns node i's flight recorder — nil (a valid, inert
+// recorder) when tracing is disabled.
+func (cl *Cluster) Trace(i netsim.NodeID) *trace.Recorder { return cl.tracers[i] }
+
+// TraceDump renders the trailing tail events of every node's flight
+// recorder (all retained events when tail <= 0). Empty when tracing is
+// disabled.
+func (cl *Cluster) TraceDump(tail int) string { return trace.DumpAll(cl.tracers, tail) }
 
 // Sched returns the virtual-time scheduler driving the cluster.
 func (cl *Cluster) Sched() *simtime.Scheduler { return cl.sched }

@@ -8,6 +8,7 @@ import (
 	"fragdb/internal/history"
 	"fragdb/internal/lock"
 	"fragdb/internal/netsim"
+	"fragdb/internal/trace"
 	"fragdb/internal/txn"
 )
 
@@ -27,6 +28,10 @@ func (n *Node) Submit(spec TxnSpec, done func(TxnResult)) {
 func (n *Node) reject(spec TxnSpec, done func(TxnResult), err error) {
 	n.cl.stats.Rejected.Add(1)
 	n.cl.stats.Aborted.Add(1)
+	if n.tr.Enabled() {
+		n.tr.Emit(trace.Event{Kind: trace.KReject, Frag: spec.Fragment,
+			Err: err.Error(), Note: spec.Label})
+	}
 	if done != nil {
 		done(TxnResult{
 			Label: spec.Label, Err: err,
@@ -69,6 +74,10 @@ func (n *Node) startTxn(spec TxnSpec, done func(TxnResult)) {
 		done:         done,
 	}
 	n.active[t.id] = t
+	if n.tr.Enabled() {
+		n.tr.Emit(trace.Event{Kind: trace.KSubmit, Txn: t.id,
+			Frag: spec.Fragment, Note: spec.Label})
+	}
 	timeout := spec.Timeout
 	if timeout == 0 {
 		timeout = n.cl.cfg.TxnTimeout
@@ -154,6 +163,10 @@ func (n *Node) handleRead(t *activeTxn, req request) bool {
 	if !n.cl.IsReplica(frag, n.id) {
 		if home, ok := n.cl.tokens.HomeOfFragment(frag); ok && home != n.id {
 			t.pendingRemote = &req
+			if n.tr.Enabled() {
+				n.tr.Emit(trace.Event{Kind: trace.KRemoteLockWait, Txn: t.id,
+					Obj: o, Peer: home, HasPeer: true})
+			}
 			n.cl.net.Send(n.id, home, lockReqMsg{Txn: t.id, Object: o, From: n.id})
 			return false
 		}
@@ -172,6 +185,10 @@ func (n *Node) handleRead(t *activeTxn, req request) bool {
 	if opt == ReadLocks && foreign {
 		if home, ok := n.cl.tokens.HomeOfFragment(frag); ok && home != n.id {
 			t.pendingRemote = &req
+			if n.tr.Enabled() {
+				n.tr.Emit(trace.Event{Kind: trace.KRemoteLockWait, Txn: t.id,
+					Obj: o, Peer: home, HasPeer: true})
+			}
 			n.cl.net.Send(n.id, home, lockReqMsg{Txn: t.id, Object: o, From: n.id})
 			return false
 		}
@@ -358,6 +375,10 @@ func (n *Node) commitLocal(t *activeTxn, q txn.Quasi, viaQuasi bool) {
 	})
 	n.finalize(t, nil, true)
 	if viaQuasi {
+		if n.tr.Enabled() {
+			n.tr.Emit(trace.Event{Kind: trace.KQuasiSend, Txn: t.id,
+				Frag: q.Fragment, Pos: q.Pos})
+		}
 		n.bcast.Send(q)
 	} else {
 		n.bcast.Send(commitCmdMsg{Txn: t.id, Fragment: q.Fragment})
@@ -403,9 +424,21 @@ func (n *Node) finalize(t *activeTxn, err error, committed bool) {
 	now := n.cl.sched.Now()
 	if committed {
 		n.cl.stats.Committed.Add(1)
-		n.cl.stats.CommitLatencyTotal.Add(int64(now.Sub(t.start)))
+		n.cl.stats.CommitLatency.Observe(now.Sub(t.start))
+		if n.tr.Enabled() {
+			n.tr.Emit(trace.Event{Kind: trace.KCommit, Txn: t.id,
+				Frag: t.spec.Fragment, Dur: now.Sub(t.start), Note: t.spec.Label})
+		}
 	} else {
 		n.cl.stats.Aborted.Add(1)
+		if n.tr.Enabled() {
+			cause := ""
+			if err != nil {
+				cause = err.Error()
+			}
+			n.tr.Emit(trace.Event{Kind: trace.KAbort, Txn: t.id,
+				Frag: t.spec.Fragment, Dur: now.Sub(t.start), Err: cause, Note: t.spec.Label})
+		}
 	}
 	n.onGrants(grants)
 	if t.done != nil {
@@ -534,6 +567,10 @@ func (n *Node) woundHolders(o fragments.ObjectID, requester txn.ID) {
 		}
 		if t, ok := n.active[h]; ok {
 			n.cl.stats.Wounds.Add(1)
+			if n.tr.Enabled() {
+				n.tr.Emit(trace.Event{Kind: trace.KWound, Txn: h,
+					Other: requester, Obj: o})
+			}
 			n.abortBlocked(t, ErrWounded)
 			continue
 		}
@@ -556,6 +593,12 @@ func (n *Node) installQuasi(w *quasiWaiter) {
 	}
 	w.st.appliedLog = append(w.st.appliedLog, w.q)
 	n.cl.stats.QuasiApplied.Add(1)
+	lag := n.cl.sched.Now().Sub(w.q.Stamp)
+	n.cl.stats.QuasiLag.Observe(lag)
+	if n.tr.Enabled() {
+		n.tr.Emit(trace.Event{Kind: trace.KQuasiApply, Txn: w.q.Txn,
+			Frag: w.f, Pos: w.q.Pos, Peer: w.q.Home, HasPeer: true, Dur: lag})
+	}
 	delete(n.quasiWaiters, w.q.Txn)
 	grants := n.locks.Release(w.q.Txn)
 	if w.ordered {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fragdb/internal/netsim"
+	"fragdb/internal/trace"
 	"fragdb/internal/txn"
 )
 
@@ -28,6 +29,10 @@ func (n *Node) startMajority(t *activeTxn, q txn.Quasi) {
 	t.waitingMajority = true
 	t.pendingQuasi = q
 	t.acks = map[netsim.NodeID]bool{n.id: true}
+	if n.tr.Enabled() {
+		n.tr.Emit(trace.Event{Kind: trace.KMajorityPrepare, Txn: t.id,
+			Frag: q.Fragment, Pos: q.Pos})
+	}
 	n.bcast.Send(prepareMsg{Q: q})
 	n.checkMajority(t)
 }
@@ -41,6 +46,10 @@ func (n *Node) handlePrepare(origin netsim.NodeID, m prepareMsg) {
 	}
 	st := n.stream(m.Q.Fragment)
 	st.prepared[m.Q.Txn] = m.Q
+	if n.tr.Enabled() {
+		n.tr.Emit(trace.Event{Kind: trace.KPrepareBuffered, Txn: m.Q.Txn,
+			Frag: m.Q.Fragment, Pos: m.Q.Pos, Peer: m.Q.Home, HasPeer: true})
+	}
 	n.cl.net.Send(n.id, m.Q.Home, ackMsg{Txn: m.Q.Txn, From: n.id})
 }
 
@@ -51,6 +60,10 @@ func (n *Node) handleAck(m ackMsg) {
 		return
 	}
 	t.acks[m.From] = true
+	if n.tr.Enabled() {
+		n.tr.Emit(trace.Event{Kind: trace.KMajorityAck, Txn: t.id,
+			Peer: m.From, HasPeer: true, Seq: uint64(len(t.acks))})
+	}
 	n.checkMajority(t)
 }
 
@@ -78,5 +91,9 @@ func (n *Node) handleCommitCmd(m commitCmdMsg) {
 // handleAbortCmd discards a prepared quasi-transaction whose home node
 // gave up on assembling a majority.
 func (n *Node) handleAbortCmd(m abortCmdMsg) {
-	delete(n.stream(m.Fragment).prepared, m.Txn)
+	st := n.stream(m.Fragment)
+	if _, ok := st.prepared[m.Txn]; ok && n.tr.Enabled() {
+		n.tr.Emit(trace.Event{Kind: trace.KPreparedDrop, Txn: m.Txn, Frag: m.Fragment})
+	}
+	delete(st.prepared, m.Txn)
 }

@@ -6,6 +6,7 @@ import (
 	"fragdb/internal/fragments"
 	"fragdb/internal/history"
 	"fragdb/internal/storage"
+	"fragdb/internal/trace"
 	"fragdb/internal/txn"
 )
 
@@ -35,6 +36,9 @@ func (n *Node) SetMoveBlocked(f fragments.FragmentID, blocked bool) {
 func (n *Node) FenceMoving(f fragments.FragmentID) {
 	for _, t := range n.activeSnapshot() {
 		if t.spec.Fragment == f && !t.finalizedFlag {
+			if n.tr.Enabled() {
+				n.tr.Emit(trace.Event{Kind: trace.KMoveFence, Txn: t.id, Frag: f})
+			}
 			n.abortBlocked(t, ErrAgentMoving)
 		}
 	}
@@ -47,6 +51,9 @@ func (n *Node) FenceMoving(f fragments.FragmentID) {
 // that the new home continues the single uninterrupted sequence.
 func (n *Node) InstallSnapshot(f fragments.FragmentID, snap map[fragments.ObjectID]storage.Version, pos txn.FragPos) {
 	st := n.stream(f)
+	if n.tr.Enabled() {
+		n.tr.Emit(trace.Event{Kind: trace.KMoveInstall, Frag: f, Pos: pos})
+	}
 	n.store.InstallFragmentSnapshot(f, snap)
 	if st.last.Less(pos) {
 		st.last = pos
@@ -78,6 +85,9 @@ func (n *Node) BeginNoPrepEpoch(f fragments.FragmentID) {
 	st.oldInstalled = oldLast.Seq
 	st.last = txn.FragPos{Epoch: newEpoch, Seq: 0}
 	st.appliedLog = nil
+	if n.tr.Enabled() {
+		n.tr.Emit(trace.Event{Kind: trace.KMoveEpoch, Frag: f, Seq: newEpoch, Pos: oldLast})
+	}
 	n.bcast.Send(m0Msg{
 		Fragment: f, NewEpoch: newEpoch, OldLast: oldLast,
 		Installed: installed, NewHome: n.id,
@@ -130,6 +140,10 @@ func (n *Node) performSwitch(f fragments.FragmentID, st *streamState, m m0Msg) {
 	st.oldInstalled = st.last.Seq
 	st.last = txn.FragPos{Epoch: m.NewEpoch, Seq: 0}
 	st.appliedLog = nil
+	if n.tr.Enabled() {
+		n.tr.Emit(trace.Event{Kind: trace.KEpochSwitch, Frag: f,
+			Seq: m.NewEpoch, Peer: m.NewHome, HasPeer: true})
+	}
 	// Old-epoch quasi-transactions buffered but never applied (gaps the
 	// prefix did not cover) become stragglers: forward them (rule B(2)).
 	var stale []txn.FragPos
@@ -144,6 +158,10 @@ func (n *Node) performSwitch(f fragments.FragmentID, st *streamState, m m0Msg) {
 		delete(st.pending, p)
 		if p.Epoch == st.oldEpoch && p.Seq > st.oldInstalled {
 			n.cl.stats.QuasiForwarded.Add(1)
+			if n.tr.Enabled() {
+				n.tr.Emit(trace.Event{Kind: trace.KQuasiForward, Txn: q.Txn,
+					Frag: f, Pos: p, Peer: m.NewHome, HasPeer: true})
+			}
 			n.cl.net.Send(n.id, m.NewHome, forwardMsg{Q: q})
 		}
 	}
@@ -190,6 +208,10 @@ func (n *Node) recoverMissing(f fragments.FragmentID, st *streamState, q txn.Qua
 		n.nextTxnSeq++
 		newID := txn.ID{Origin: n.id, Seq: n.nextTxnSeq}
 		ru.NewID = newID
+		if n.tr.Enabled() {
+			n.tr.Emit(trace.Event{Kind: trace.KRecover, Txn: q.Txn,
+				Other: newID, Frag: f, Pos: q.Pos, Arg: int64(len(kept))})
+		}
 		pos := st.last.Next()
 		now := n.cl.sched.Now()
 		nq := txn.Quasi{Txn: newID, Fragment: f, Pos: pos, Home: n.id, Writes: kept, Stamp: now}

@@ -9,6 +9,7 @@ import (
 	"fragdb/internal/netsim"
 	"fragdb/internal/simtime"
 	"fragdb/internal/storage"
+	"fragdb/internal/trace"
 	"fragdb/internal/txn"
 	"fragdb/internal/wire"
 )
@@ -162,6 +163,9 @@ type Node struct {
 	store *storage.Store
 	locks *lock.Manager
 	bcast *broadcast.Broadcaster
+	// tr is the node's flight recorder; nil when tracing is disabled
+	// (every emission site checks before constructing an event).
+	tr *trace.Recorder
 
 	nextTxnSeq uint64
 	active     map[txn.ID]*activeTxn
@@ -210,13 +214,14 @@ func newNode(cl *Cluster, id netsim.NodeID) *Node {
 		id:           id,
 		cl:           cl,
 		store:        storage.New(id, cl.cat),
-		locks:        lock.NewManager(),
+		tr:           cl.Trace(id),
 		active:       make(map[txn.ID]*activeTxn),
 		streams:      make(map[fragments.FragmentID]*streamState),
 		remoteHeld:   make(map[txn.ID]*remoteHolder),
 		remoteQueued: make(map[txn.ID]remoteQueue),
 		posQueries:   make(map[uint64]func(netsim.NodeID, txn.FragPos)),
 	}
+	n.locks = n.newLockManager()
 	n.bcast = broadcast.New(id, cl.net, cl.timer(),
 		broadcast.Config{
 			GossipInterval: int64(cl.cfg.GossipInterval),
@@ -226,10 +231,32 @@ func newNode(cl *Cluster, id netsim.NodeID) *Node {
 			Snapshot:       nodeSnapshotter{n},
 			Metrics:        cl.bstats,
 			SizeOf:         wire.Size,
+			Trace:          n.tr,
 		},
 		n.handleBroadcast)
 	cl.net.SetHandler(id, n.handleTransport)
 	return n
+}
+
+// newLockManager builds the node's lock table and, when tracing is
+// enabled, installs the blocked-path observer that maps lock-manager
+// occurrences onto flight-recorder events. Crash recovery rebuilds the
+// table through the same constructor so the observer survives restarts.
+func (n *Node) newLockManager() *lock.Manager {
+	m := lock.NewManager()
+	if n.tr.Enabled() {
+		m.OnEvent = func(id txn.ID, o fragments.ObjectID, mode lock.Mode, ev lock.TraceEvent) {
+			kind := trace.KLockWait
+			switch ev {
+			case lock.TraceGrant:
+				kind = trace.KLockGrant
+			case lock.TraceDeny:
+				kind = trace.KLockDeadlock
+			}
+			n.tr.Emit(trace.Event{Kind: kind, Txn: id, Obj: o, Note: mode.String()})
+		}
+	}
+	return m
 }
 
 // ID returns the node's id.
@@ -372,6 +399,10 @@ func (n *Node) handleStraggler(st *streamState, q txn.Quasi) {
 	if st.forward && q.Pos.Epoch == st.oldEpoch && q.Pos.Seq > st.oldInstalled {
 		// Rule B(2): do not process; forward to the new home.
 		n.cl.stats.QuasiForwarded.Add(1)
+		if n.tr.Enabled() {
+			n.tr.Emit(trace.Event{Kind: trace.KQuasiForward, Txn: q.Txn,
+				Frag: q.Fragment, Pos: q.Pos, Peer: st.forwardTo, HasPeer: true})
+		}
 		n.cl.net.Send(n.id, st.forwardTo, forwardMsg{Q: q})
 	}
 	// Otherwise: duplicate of something installed before the switch.

@@ -5,8 +5,8 @@ import (
 	"sort"
 
 	"fragdb/internal/fragments"
-	"fragdb/internal/lock"
 	"fragdb/internal/netsim"
+	"fragdb/internal/trace"
 	"fragdb/internal/txn"
 )
 
@@ -35,12 +35,15 @@ var ErrCrashed = errors.New("core: node crashed")
 // window itself; messages sent to the node while down are lost and
 // recovered by anti-entropy afterwards.
 func (n *Node) SimulateCrashRestart() {
+	if n.tr.Enabled() {
+		n.tr.Emit(trace.Event{Kind: trace.KCrash, Arg: int64(len(n.active))})
+	}
 	// Abort whatever was running.
 	for _, t := range n.activeSnapshot() {
 		n.abortBlocked(t, ErrCrashed)
 	}
 	// Volatile state: gone.
-	n.locks = lock.NewManager()
+	n.locks = n.newLockManager()
 	n.quasiWaiters = make(map[txn.ID]*quasiWaiter)
 	n.remoteHeld = make(map[txn.ID]*remoteHolder)
 	n.remoteQueued = make(map[txn.ID]remoteQueue)
@@ -116,6 +119,9 @@ func (n *Node) SimulateCrashRestart() {
 		for i, payload := range n.bcast.Log(o) {
 			n.handleBroadcast(o, base+uint64(i)+1, payload)
 		}
+	}
+	if n.tr.Enabled() {
+		n.tr.Emit(trace.Event{Kind: trace.KRestart})
 	}
 }
 

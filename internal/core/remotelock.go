@@ -5,6 +5,7 @@ import (
 	"fragdb/internal/history"
 	"fragdb/internal/lock"
 	"fragdb/internal/netsim"
+	"fragdb/internal/trace"
 	"fragdb/internal/txn"
 )
 
@@ -59,8 +60,13 @@ func (n *Node) grantRemote(id txn.ID, from netsim.NodeID, o fragments.ObjectID) 
 
 // expireRemote reclaims locks leaked by an unreachable remote reader.
 func (n *Node) expireRemote(id txn.ID) {
-	if _, ok := n.remoteHeld[id]; !ok {
+	rh, ok := n.remoteHeld[id]
+	if !ok {
 		return
+	}
+	if n.tr.Enabled() {
+		n.tr.Emit(trace.Event{Kind: trace.KRemoteLockExpire, Txn: id,
+			Peer: rh.from, HasPeer: true})
 	}
 	delete(n.remoteHeld, id)
 	n.onGrants(n.locks.Release(id))
@@ -80,6 +86,10 @@ func (n *Node) handleLockGrant(m lockGrantMsg) {
 	}
 	t.pendingRemote = nil
 	t.remoteLocked[m.From] = true
+	if n.tr.Enabled() {
+		n.tr.Emit(trace.Event{Kind: trace.KRemoteLockGrant, Txn: m.Txn,
+			Obj: m.Object, Peer: m.From, HasPeer: true})
+	}
 	obs := history.ReadObs{Object: m.Object}
 	if m.Known {
 		obs.FromTxn = m.Version.Txn
@@ -98,6 +108,9 @@ func (n *Node) handleLockDeny(m lockDenyMsg) {
 		return
 	}
 	n.cl.stats.Deadlocks.Add(1)
+	if n.tr.Enabled() {
+		n.tr.Emit(trace.Event{Kind: trace.KRemoteLockDeny, Txn: m.Txn, Obj: m.Object})
+	}
 	t.pendingRemote = nil
 	t.poisoned = ErrRemoteDenied
 	t.respCh <- response{err: ErrRemoteDenied}

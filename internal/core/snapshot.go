@@ -6,6 +6,7 @@ import (
 	"fragdb/internal/fragments"
 	"fragdb/internal/netsim"
 	"fragdb/internal/storage"
+	"fragdb/internal/trace"
 	"fragdb/internal/txn"
 )
 
@@ -142,6 +143,11 @@ func (n *Node) captureSnap() (any, bool) {
 		}
 		snap.applied[w.f] = append(snap.applied[w.f], w.q)
 	}
+	if n.tr.Enabled() {
+		// Safe with the broadcaster's lock held: the recorder never calls
+		// out of its own mutex.
+		n.tr.Emit(trace.Event{Kind: trace.KSnapCapture, Arg: int64(len(snap.vals))})
+	}
 	return snap, true
 }
 
@@ -156,8 +162,14 @@ func (n *Node) installSnap(state any, have, prev map[netsim.NodeID]uint64) {
 	if !ok {
 		return // offers from a Snapshotter-less peer only move prefixes
 	}
+	if n.tr.Enabled() {
+		n.tr.Emit(trace.Event{Kind: trace.KSnapInstall, Arg: int64(len(snap.vals))})
+	}
 	for _, t := range n.activeSnapshot() {
 		n.cl.stats.Wounds.Add(1)
+		if n.tr.Enabled() {
+			n.tr.Emit(trace.Event{Kind: trace.KWound, Txn: t.id, Note: "snapshot install"})
+		}
 		n.abortBlocked(t, ErrWounded)
 	}
 	n.applySnap(snap, have, prev)

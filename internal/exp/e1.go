@@ -29,7 +29,7 @@ func RunE1(seed int64) *Result {
 		Title: "Figure 1.1 — the correctness/availability spectrum",
 		Claim: "from left to right, availability increases while the correctness criteria become less strict",
 		Header: []string{"system", "guarantee", "offered", "committed", "availability",
-			"overdrafts", "fines", "dup-fines"},
+			"commit p50/p95/p99", "overdrafts", "fines", "dup-fines"},
 	}
 
 	// The common op schedule: (start offset, customer location 0 or 1,
@@ -60,6 +60,7 @@ func RunE1(seed int64) *Result {
 		guarantee string
 		offered   uint64
 		committed uint64
+		lat       string
 		over      int
 		fines     int
 		dup       int
@@ -88,6 +89,7 @@ func RunE1(seed int64) *Result {
 		rows = append(rows, row{
 			name: m.Name(), guarantee: "global serializability",
 			offered: m.Stats().Offered.Load(), committed: m.Stats().Committed.Load(),
+			lat:  "-",
 			over: boolToInt(m.Balance(0, "A") < 0),
 		})
 	}
@@ -98,7 +100,7 @@ func RunE1(seed int64) *Result {
 	// offered load).
 	for _, readLocks := range []bool{true, false} {
 		b, err := workload.NewBank(workload.BankConfig{
-			Cluster:        core.Config{N: 3, Seed: seed},
+			Cluster:        core.Config{N: 3, Seed: seed, TraceCap: TraceCap},
 			CentralNode:    0,
 			Accounts:       []string{"A"},
 			CustomerHome:   map[string]netsim.NodeID{"A": 1},
@@ -147,9 +149,14 @@ func RunE1(seed int64) *Result {
 			name: name, guarantee: guarantee,
 			offered:   offered,
 			committed: committed,
+			lat:       quantiles(&cl.Stats().CommitLatency),
 			over:      len(b.Letters()),
 			fines:     int(cl.Stats().CorrectiveActions.Load()),
 		})
+		if TraceCap > 0 {
+			r.TraceDumps = append(r.TraceDumps,
+				fmt.Sprintf("-- %s --\n%s", name, cl.TraceDump(traceTail)))
+		}
 		cl.Shutdown()
 	}
 
@@ -175,6 +182,7 @@ func RunE1(seed int64) *Result {
 		rows = append(rows, row{
 			name: lm.Name(), guarantee: "eventual convergence",
 			offered: lm.Stats().Offered.Load(), committed: lm.Stats().Committed.Load(),
+			lat:   "-",
 			over:  lm.Overdrafts("A"),
 			fines: int(lm.Stats().CorrectiveActions.Load()),
 			dup:   lm.DuplicateFines("A"),
@@ -193,7 +201,7 @@ func RunE1(seed int64) *Result {
 		prev = avail
 		r.AddRow(rw.name, rw.guarantee,
 			fmt.Sprint(rw.offered), fmt.Sprint(rw.committed),
-			pct(rw.committed, rw.offered),
+			pct(rw.committed, rw.offered), rw.lat,
 			fmt.Sprint(rw.over), fmt.Sprint(rw.fines), fmt.Sprint(rw.dup))
 	}
 	r.Pass = monotone &&

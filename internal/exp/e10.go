@@ -29,7 +29,8 @@ func RunE10(seed int64) *Result {
 		Title: "Section 1 — reconciliation overhead vs. partition duration",
 		Claim: "free-for-all reconciliation work grows with partition length; fragments/agents resumes its stream with no back-outs and centralized corrective actions",
 		Header: []string{"partition", "ops", "logmerge entries", "logmerge fines(dup)",
-			"logmerge backouts", "fragdb quasis", "fragdb fines", "both consistent"},
+			"logmerge backouts", "fragdb quasis", "fragdb fines", "fragdb commit p50/p95/p99",
+			"both consistent"},
 	}
 	durations := []time.Duration{500 * time.Millisecond, time.Second, 2 * time.Second, 4 * time.Second}
 	growingLM, growingFD := true, true
@@ -99,7 +100,7 @@ func RunE10(seed int64) *Result {
 
 		// --- fragments and agents --------------------------------------
 		b, err := workload.NewBank(workload.BankConfig{
-			Cluster:        core.Config{N: 3, Seed: seed},
+			Cluster:        core.Config{N: 3, Seed: seed, TraceCap: TraceCap},
 			CentralNode:    0,
 			Accounts:       []string{"A"},
 			CustomerHome:   map[string]netsim.NodeID{"A": 1},
@@ -122,8 +123,13 @@ func RunE10(seed int64) *Result {
 		cl.Settle(120 * time.Second)
 		quasisAfterHeal := cl.Stats().QuasiApplied.Load() - quasisBefore
 		fdFines := int(cl.Stats().CorrectiveActions.Load())
+		fdLat := quantiles(&cl.Stats().CommitLatency)
 		if cl.CheckMutualConsistency() != nil {
 			allConsistent = false
+		}
+		if TraceCap > 0 {
+			r.TraceDumps = append(r.TraceDumps,
+				fmt.Sprintf("-- fragdb partition=%v --\n%s", dur, cl.TraceDump(traceTail)))
 		}
 		cl.Shutdown()
 		if int(quasisAfterHeal) < prevFD {
@@ -134,7 +140,7 @@ func RunE10(seed int64) *Result {
 		r.AddRow(dur.String(), fmt.Sprintf("%dx2", ops),
 			fmt.Sprint(shipped), fmt.Sprintf("%d(%d)", lmFines, lmDup),
 			fmt.Sprint(backouts),
-			fmt.Sprint(quasisAfterHeal), fmt.Sprint(fdFines),
+			fmt.Sprint(quasisAfterHeal), fmt.Sprint(fdFines), fdLat,
 			yesNo(allConsistent))
 	}
 	r.Pass = growingLM && growingFD && allConsistent

@@ -8,6 +8,7 @@ import (
 	"fragdb/internal/core"
 	"fragdb/internal/fragments"
 	"fragdb/internal/history"
+	"fragdb/internal/metrics"
 	"fragdb/internal/netsim"
 	"fragdb/internal/simtime"
 )
@@ -30,28 +31,29 @@ func RunE9(seed int64) *Result {
 		ID:     "E9",
 		Title:  "Section 4.2 theorem + Section 4.3 Properties 1-2 — randomized validation",
 		Claim:  "acyclic read-access graphs always yield globally serializable executions; unrestricted reads always yield fragmentwise-serializable, convergent executions",
-		Header: []string{"campaign", "trials", "txns run", "violations"},
+		Header: []string{"campaign", "trials", "txns run", "violations", "commit p50/p95/p99"},
 	}
 	const trials = 12
 
 	gsgViolations, fwViolations, mcViolations := 0, 0, 0
 	var txnsAcyclic, txnsFree uint64
+	var latAcyclic, latFree metrics.Histogram
 
 	for trial := 0; trial < trials; trial++ {
 		rng := rand.New(rand.NewSource(seed + int64(trial)*7919))
-		txnsAcyclic += randomTrial(rng, true, &gsgViolations, &fwViolations, &mcViolations)
+		txnsAcyclic += randomTrial(rng, true, &gsgViolations, &fwViolations, &mcViolations, &latAcyclic)
 	}
 	for trial := 0; trial < trials; trial++ {
 		rng := rand.New(rand.NewSource(seed + 1000 + int64(trial)*104729))
-		txnsFree += randomTrial(rng, false, &gsgViolations, &fwViolations, &mcViolations)
+		txnsFree += randomTrial(rng, false, &gsgViolations, &fwViolations, &mcViolations, &latFree)
 	}
 
 	r.AddRow("acyclic RAG -> global serializability", fmt.Sprint(trials),
-		fmt.Sprint(txnsAcyclic), fmt.Sprint(gsgViolations))
+		fmt.Sprint(txnsAcyclic), fmt.Sprint(gsgViolations), quantiles(&latAcyclic))
 	r.AddRow("unrestricted -> fragmentwise serializability", fmt.Sprint(trials),
-		fmt.Sprint(txnsFree), fmt.Sprint(fwViolations))
+		fmt.Sprint(txnsFree), fmt.Sprint(fwViolations), quantiles(&latFree))
 	r.AddRow("unrestricted -> mutual consistency", fmt.Sprint(trials),
-		fmt.Sprint(txnsFree), fmt.Sprint(mcViolations))
+		fmt.Sprint(txnsFree), fmt.Sprint(mcViolations), quantiles(&latFree))
 	r.Pass = gsgViolations == 0 && fwViolations == 0 && mcViolations == 0
 	r.AddNote("each trial: random forest/complete read pattern over 4-6 fragments, random update stream, random partition+heal, random message loss on half the trials")
 	return r
@@ -67,7 +69,7 @@ func RunE9(seed int64) *Result {
 func RandomAudit(seed int64, trials int, acyclic bool) (committed uint64, gsgV, fwV, mcV int) {
 	for trial := 0; trial < trials; trial++ {
 		rng := rand.New(rand.NewSource(seed + int64(trial)*7919))
-		committed += randomTrial(rng, acyclic, &gsgV, &fwV, &mcV)
+		committed += randomTrial(rng, acyclic, &gsgV, &fwV, &mcV, nil)
 	}
 	return committed, gsgV, fwV, mcV
 }
@@ -75,8 +77,9 @@ func RandomAudit(seed int64, trials int, acyclic bool) (committed uint64, gsgV, 
 // randomTrial builds one random cluster and workload. With acyclic set,
 // the declared read pattern is a random forest and reads stay within
 // it; otherwise reads are arbitrary. It returns the number of committed
-// transactions and bumps the violation counters.
-func randomTrial(rng *rand.Rand, acyclic bool, gsgV, fwV, mcV *int) uint64 {
+// transactions and bumps the violation counters; lat, when non-nil,
+// accumulates the trial's commit-latency histogram.
+func randomTrial(rng *rand.Rand, acyclic bool, gsgV, fwV, mcV *int, lat *metrics.Histogram) uint64 {
 	k := 4 + rng.Intn(3) // fragments
 	n := k               // one agent per node
 	opt := core.UnrestrictedReads
@@ -213,6 +216,9 @@ func randomTrial(rng *rand.Rand, acyclic bool, gsgV, fwV, mcV *int) uint64 {
 	}
 	if cl.CheckMutualConsistency() != nil {
 		*mcV++
+	}
+	if lat != nil {
+		lat.Merge(&cl.Stats().CommitLatency)
 	}
 	return cl.Stats().Committed.Load()
 }

@@ -13,7 +13,18 @@ package exp
 import (
 	"fmt"
 	"strings"
+
+	"fragdb/internal/metrics"
 )
+
+// TraceCap, when positive, arms the per-node flight recorder on every
+// fragdb cluster an experiment builds; experiments then attach trailing
+// per-node trace dumps to their Result. cmd/haexp sets it from -trace.
+var TraceCap int
+
+// traceTail is how many trailing events per node an experiment's trace
+// dump keeps.
+const traceTail = 40
 
 // Result is one experiment's outcome.
 type Result struct {
@@ -29,6 +40,9 @@ type Result struct {
 	Rows [][]string
 	// Notes carry measurement caveats and observations.
 	Notes []string
+	// TraceDumps holds labelled per-node flight-recorder dumps, one per
+	// instrumented cluster, when TraceCap is set.
+	TraceDumps []string
 	// Pass reports whether the measured shape matches the claim.
 	Pass bool
 }
@@ -128,4 +142,14 @@ func pct(num, den uint64) string {
 		return "-"
 	}
 	return fmt.Sprintf("%.0f%%", 100*float64(num)/float64(den))
+}
+
+// quantiles renders a latency histogram as a "p50/p95/p99" cell, or "-"
+// when nothing was recorded.
+func quantiles(h *metrics.Histogram) string {
+	if h.Count() == 0 {
+		return "-"
+	}
+	p50, p95, p99 := h.Percentiles()
+	return fmt.Sprintf("%v/%v/%v", p50, p95, p99)
 }

@@ -64,6 +64,22 @@ type entry struct {
 	queue   []request
 }
 
+// TraceEvent classifies a lock-manager occurrence reported to the
+// OnEvent observer.
+type TraceEvent int
+
+// The observable occurrences. Only blocked paths are reported —
+// immediately granted requests stay silent so the uncontended hot path
+// pays nothing for observation.
+const (
+	// TraceWait: the request queued behind a conflicting holder.
+	TraceWait TraceEvent = iota
+	// TraceGrant: a previously queued request was granted by a release.
+	TraceGrant
+	// TraceDeny: the request was refused by deadlock detection.
+	TraceDeny
+)
+
 // Manager is a lock table for one node. It is not safe for concurrent
 // use; the owning engine serializes access.
 type Manager struct {
@@ -73,6 +89,12 @@ type Manager struct {
 	// waiting[t] is the object t is queued on (a transaction waits on at
 	// most one request at a time), or absent.
 	waiting map[txn.ID]fragments.ObjectID
+
+	// OnEvent, when non-nil, observes blocked-path occurrences (waits,
+	// deferred grants, deadlock denials). Installed by the engine when
+	// flight-recorder tracing is enabled; must not call back into the
+	// Manager.
+	OnEvent func(id txn.ID, o fragments.ObjectID, mode Mode, ev TraceEvent)
 }
 
 // NewManager returns an empty lock table.
@@ -135,10 +157,16 @@ func (m *Manager) Acquire(id txn.ID, o fragments.ObjectID, mode Mode) (bool, err
 	}
 	// Would wait: deadlock check first.
 	if m.wouldDeadlock(id, o, mode) {
+		if m.OnEvent != nil {
+			m.OnEvent(id, o, mode, TraceDeny)
+		}
 		return false, ErrDeadlock
 	}
 	e.queue = append(e.queue, request{id: id, mode: mode})
 	m.waiting[id] = o
+	if m.OnEvent != nil {
+		m.OnEvent(id, o, mode, TraceWait)
+	}
 	return false, nil
 }
 
@@ -292,6 +320,9 @@ func (m *Manager) promote(o fragments.ObjectID, e *entry) []Grant {
 		}
 		e.queue = e.queue[1:]
 		delete(m.waiting, r.id)
+		if m.OnEvent != nil {
+			m.OnEvent(r.id, o, r.mode, TraceGrant)
+		}
 		grants = append(grants, Grant{Txn: r.id, Object: o, Mode: r.mode})
 	}
 	return grants

@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-5, 0},
+		{0, 0},
+		{1, 0},
+		{2, 1},
+		{3, 2},
+		{4, 2},
+		{5, 3},
+		{8, 3},
+		{9, 4},
+		{1024, 10},
+		{1025, 11},
+		{time.Duration(1) << 38, 38},
+		{time.Duration(1)<<38 + 1, 39}, // first overflow value
+		{time.Duration(1) << 55, HistBuckets - 1}, // deep overflow clamps
+	}
+	for _, c := range cases {
+		if got := histBucketOf(c.d); got != c.want {
+			t.Errorf("histBucketOf(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Every bucket's upper bound must itself land in that bucket
+	// (inclusive upper boundary).
+	for i := 0; i < HistBuckets-1; i++ {
+		if got := histBucketOf(histBucketUpper(i)); got != i {
+			t.Errorf("upper bound of bucket %d maps to bucket %d", i, got)
+		}
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Error("empty histogram has nonzero stats")
+	}
+	if h.Quantile(0.5) != 0 || h.Quantile(0.99) != 0 {
+		t.Error("empty histogram has nonzero quantiles")
+	}
+	if b := h.Buckets(); len(b) != 0 {
+		t.Errorf("empty histogram has %d buckets", len(b))
+	}
+}
+
+func TestHistSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(37 * time.Millisecond)
+	// With one sample every quantile is that sample, exactly: the
+	// bucket's power-of-two upper bound is clamped to the observed max.
+	for _, q := range []float64{0.01, 0.5, 0.95, 0.99, 1.0} {
+		if got := h.Quantile(q); got != 37*time.Millisecond {
+			t.Errorf("Quantile(%v) = %v, want 37ms", q, got)
+		}
+	}
+	if h.Mean() != 37*time.Millisecond || h.Max() != 37*time.Millisecond {
+		t.Errorf("mean=%v max=%v", h.Mean(), h.Max())
+	}
+}
+
+func TestHistOverflowBucket(t *testing.T) {
+	var h Histogram
+	big := 20 * time.Minute // above 2^38 ns ≈ 4.6 min
+	h.Observe(big)
+	h.Observe(time.Millisecond)
+	if got := h.Quantile(1.0); got != big {
+		t.Errorf("overflow quantile = %v, want %v (the observed max)", got, big)
+	}
+	if got := h.Quantile(0.5); got > 2*time.Millisecond {
+		t.Errorf("p50 = %v, want <= 2ms bucket bound", got)
+	}
+}
+
+func TestHistQuantileBounds(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	// Power-of-two buckets guarantee: true value <= reported <= 2*true.
+	for _, c := range []struct {
+		q     float64
+		exact time.Duration
+	}{{0.5, 500 * time.Microsecond}, {0.95, 950 * time.Microsecond}, {0.99, 990 * time.Microsecond}} {
+		got := h.Quantile(c.q)
+		if got < c.exact || got > 2*c.exact {
+			t.Errorf("Quantile(%v) = %v, want in [%v, %v]", c.q, got, c.exact, 2*c.exact)
+		}
+	}
+	if got := h.Quantile(1.0); got != time.Millisecond {
+		t.Errorf("Quantile(1.0) = %v, want 1ms (max clamp)", got)
+	}
+	// Out-of-range q values clamp rather than panic.
+	if h.Quantile(-1) == 0 || h.Quantile(2) != time.Millisecond {
+		t.Errorf("clamped quantiles: q=-1 -> %v, q=2 -> %v", h.Quantile(-1), h.Quantile(2))
+	}
+}
+
+func TestHistConcurrent(t *testing.T) {
+	var h Histogram
+	const goroutines, per = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g*per+i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("count = %d, want %d", h.Count(), goroutines*per)
+	}
+	var inBuckets uint64
+	for _, b := range h.Buckets() {
+		inBuckets += b.Count
+	}
+	if inBuckets != goroutines*per {
+		t.Errorf("bucket total = %d, want %d", inBuckets, goroutines*per)
+	}
+	want := time.Duration(goroutines*per-1) * time.Microsecond
+	if h.Max() != want {
+		t.Errorf("max = %v, want %v", h.Max(), want)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Millisecond)
+	b.Observe(3 * time.Millisecond)
+	b.Observe(5 * time.Millisecond)
+	a.Merge(&b)
+	a.Merge(nil)
+	if a.Count() != 3 || a.Sum() != 9*time.Millisecond || a.Max() != 5*time.Millisecond {
+		t.Errorf("merged: count=%d sum=%v max=%v", a.Count(), a.Sum(), a.Max())
+	}
+	if got := a.Mean(); got != 3*time.Millisecond {
+		t.Errorf("merged mean = %v", got)
+	}
+}
+
+func TestHistString(t *testing.T) {
+	var h Histogram
+	h.Observe(2 * time.Millisecond)
+	s := h.String()
+	for _, want := range []string{"n=1", "mean=2ms", "p50=2ms", "p99=2ms", "max=2ms"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}

@@ -42,9 +42,15 @@ type Counters struct {
 	// (overdraft fines, cancelled reservations).
 	CorrectiveActions atomic.Uint64
 
-	// CommitLatencyTotal accumulates commit latencies (virtual ns) of
-	// committed transactions, for mean latency reporting.
-	CommitLatencyTotal atomic.Int64
+	// CommitLatency is the latency histogram of committed transactions
+	// (submit to commit, virtual time), for mean and p50/p95/p99
+	// reporting.
+	CommitLatency Histogram
+	// QuasiLag is the propagation-lag histogram of installed
+	// quasi-transactions: remote install time minus home commit stamp.
+	// It measures how stale replicas run — the quantity partitions
+	// stretch (Section 2.2's propagation delay).
+	QuasiLag Histogram
 }
 
 // Availability returns Committed / Offered (1 when nothing offered).
@@ -59,18 +65,17 @@ func (c *Counters) Availability() float64 {
 // MeanCommitLatency returns the average commit latency of committed
 // transactions.
 func (c *Counters) MeanCommitLatency() time.Duration {
-	n := c.Committed.Load()
-	if n == 0 {
-		return 0
-	}
-	return time.Duration(c.CommitLatencyTotal.Load() / int64(n))
+	return c.CommitLatency.Mean()
 }
 
-// String renders the headline counters on one line.
+// String renders the headline counters on one line, including abort
+// causes (deadlocks, wounds), propagation volume, and mean latency.
 func (c *Counters) String() string {
-	return fmt.Sprintf("offered=%d committed=%d aborted=%d timedout=%d rejected=%d avail=%.3f",
+	return fmt.Sprintf("offered=%d committed=%d aborted=%d timedout=%d deadlocks=%d wounds=%d rejected=%d quasi-applied=%d avail=%.3f mean-latency=%v",
 		c.Offered.Load(), c.Committed.Load(), c.Aborted.Load(),
-		c.TimedOut.Load(), c.Rejected.Load(), c.Availability())
+		c.TimedOut.Load(), c.Deadlocks.Load(), c.Wounds.Load(),
+		c.Rejected.Load(), c.QuasiApplied.Load(),
+		c.Availability(), c.MeanCommitLatency())
 }
 
 // Broadcast aggregates the reliable broadcast's memory and catch-up

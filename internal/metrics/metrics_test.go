@@ -25,7 +25,8 @@ func TestMeanCommitLatency(t *testing.T) {
 		t.Error("mean latency with no commits nonzero")
 	}
 	c.Committed.Add(2)
-	c.CommitLatencyTotal.Add(int64(30 * time.Millisecond))
+	c.CommitLatency.Observe(10 * time.Millisecond)
+	c.CommitLatency.Observe(20 * time.Millisecond)
 	if got := c.MeanCommitLatency(); got != 15*time.Millisecond {
 		t.Errorf("mean = %v", got)
 	}
@@ -36,8 +37,15 @@ func TestStringContainsHeadlines(t *testing.T) {
 	c.Offered.Add(4)
 	c.Committed.Add(3)
 	c.Aborted.Add(1)
+	c.Deadlocks.Add(2)
+	c.Wounds.Add(5)
+	c.QuasiApplied.Add(6)
+	c.CommitLatency.Observe(10 * time.Millisecond)
 	s := c.String()
-	for _, want := range []string{"offered=4", "committed=3", "aborted=1", "avail=0.750"} {
+	for _, want := range []string{
+		"offered=4", "committed=3", "aborted=1", "avail=0.750",
+		"deadlocks=2", "wounds=5", "quasi-applied=6", "mean-latency=",
+	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("String %q missing %q", s, want)
 		}

@@ -1,0 +1,142 @@
+package rtnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"fragdb/internal/metrics"
+	"fragdb/internal/trace"
+)
+
+// DebugVars bundles the observability state a live deployment exposes
+// over HTTP: the engine counters (with their latency histograms), the
+// broadcast gauges, and the per-node flight recorders. Any field may be
+// nil; the handler simply omits what is absent.
+type DebugVars struct {
+	Counters  *metrics.Counters
+	Broadcast *metrics.Broadcast
+	Tracers   []*trace.Recorder
+}
+
+// NewDebugHandler serves the debug endpoints:
+//
+//	GET /metrics            Prometheus text exposition: counters,
+//	                        broadcast gauges, and the commit-latency and
+//	                        quasi-lag histograms (cumulative buckets, in
+//	                        seconds).
+//	GET /trace?node=N&n=M   JSON tail (last M events, default 100) of
+//	                        node N's flight recorder; without node=, the
+//	                        tails of every recording node.
+//
+// Reads are safe concurrently with a live cluster: counters are atomic
+// and recorder tails copy under the recorder's own lock.
+func NewDebugHandler(v DebugVars) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePrometheus(w, v)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		serveTrace(w, r, v.Tracers)
+	})
+	return mux
+}
+
+// writePrometheus renders the metrics in the Prometheus text format.
+func writePrometheus(w http.ResponseWriter, v DebugVars) {
+	if c := v.Counters; c != nil {
+		counter := func(name, help string, val uint64) {
+			fmt.Fprintf(w, "# HELP fragdb_%s %s\n# TYPE fragdb_%s counter\nfragdb_%s %d\n",
+				name, help, name, name, val)
+		}
+		counter("txns_offered_total", "Transactions submitted.", c.Offered.Load())
+		counter("txns_committed_total", "Transactions committed.", c.Committed.Load())
+		counter("txns_aborted_total", "Transactions aborted.", c.Aborted.Load())
+		counter("txns_timedout_total", "Aborts caused by timeout.", c.TimedOut.Load())
+		counter("txns_deadlocks_total", "Aborts caused by deadlock detection.", c.Deadlocks.Load())
+		counter("txns_wounds_total", "Local transactions wounded by quasi-transactions.", c.Wounds.Load())
+		counter("txns_rejected_total", "Submissions refused up front.", c.Rejected.Load())
+		counter("quasi_applied_total", "Quasi-transactions installed at remote nodes.", c.QuasiApplied.Load())
+		counter("quasi_forwarded_total", "Old-epoch quasi-transactions forwarded.", c.QuasiForwarded.Load())
+		counter("corrective_actions_total", "Application-level corrective actions.", c.CorrectiveActions.Load())
+		writeHistogram(w, "commit_latency_seconds",
+			"Submit-to-commit latency of committed transactions.", &c.CommitLatency)
+		writeHistogram(w, "quasi_lag_seconds",
+			"Propagation lag of installed quasi-transactions.", &c.QuasiLag)
+	}
+	if b := v.Broadcast; b != nil {
+		gauge := func(name, help string, val int64) {
+			fmt.Fprintf(w, "# HELP fragdb_%s %s\n# TYPE fragdb_%s gauge\nfragdb_%s %d\n",
+				name, help, name, name, val)
+		}
+		gauge("broadcast_log_entries", "Retained broadcast log entries.", b.LogEntries.Load())
+		gauge("broadcast_log_bytes", "Retained broadcast payload bytes.", b.LogBytes.Load())
+		gauge("broadcast_compacted_seqs", "Sequence numbers truncated by compaction.", int64(b.CompactedSeqs.Load()))
+		gauge("broadcast_snapshots_sent", "Snapshot catch-up offers served.", int64(b.SnapshotsSent.Load()))
+		gauge("broadcast_snapshots_installed", "Snapshot catch-up offers accepted.", int64(b.SnapshotsInstalled.Load()))
+		gauge("broadcast_pending_dropped", "Out-of-order arrivals dropped.", int64(b.PendingDropped.Load()))
+	}
+}
+
+// writeHistogram renders one power-of-two histogram with cumulative
+// buckets, durations converted to seconds.
+func writeHistogram(w http.ResponseWriter, name, help string, h *metrics.Histogram) {
+	fmt.Fprintf(w, "# HELP fragdb_%s %s\n# TYPE fragdb_%s histogram\n", name, help, name)
+	cum := uint64(0)
+	for _, b := range h.Buckets() {
+		cum += b.Count
+		fmt.Fprintf(w, "fragdb_%s_bucket{le=%q} %d\n",
+			name, formatLE(b.Upper.Seconds()), cum)
+	}
+	fmt.Fprintf(w, "fragdb_%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+	fmt.Fprintf(w, "fragdb_%s_sum %g\n", name, h.Sum().Seconds())
+	fmt.Fprintf(w, "fragdb_%s_count %d\n", name, h.Count())
+}
+
+// formatLE renders a bucket bound without exponent notation surprises.
+func formatLE(sec float64) string {
+	s := strconv.FormatFloat(sec, 'g', -1, 64)
+	return s
+}
+
+// serveTrace renders flight-recorder tails as JSON.
+func serveTrace(w http.ResponseWriter, r *http.Request, tracers []*trace.Recorder) {
+	n := 100
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	type nodeTrace struct {
+		Node   int           `json:"node"`
+		Events []trace.Event `json:"events"`
+	}
+	var out []nodeTrace
+	if raw := r.URL.Query().Get("node"); raw != "" {
+		id, err := strconv.Atoi(strings.TrimPrefix(raw, "N"))
+		if err != nil || id < 0 || id >= len(tracers) {
+			http.Error(w, "bad node", http.StatusBadRequest)
+			return
+		}
+		out = append(out, nodeTrace{Node: id, Events: tracers[id].Tail(n)})
+	} else {
+		for i, tr := range tracers {
+			if !tr.Enabled() {
+				continue
+			}
+			out = append(out, nodeTrace{Node: i, Events: tr.Tail(n)})
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,128 @@
+package rtnet
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fragdb/internal/metrics"
+	"fragdb/internal/simtime"
+	"fragdb/internal/trace"
+)
+
+func debugFixture() DebugVars {
+	c := &metrics.Counters{}
+	c.Offered.Add(10)
+	c.Committed.Add(8)
+	c.Aborted.Add(2)
+	c.Deadlocks.Add(1)
+	c.CommitLatency.Observe(3 * time.Millisecond)
+	c.CommitLatency.Observe(40 * time.Millisecond)
+	c.QuasiLag.Observe(7 * time.Millisecond)
+	b := &metrics.Broadcast{}
+	b.LogEntries.Store(17)
+	b.CompactedSeqs.Add(5)
+
+	var now simtime.Time
+	clock := func() simtime.Time { now = now.Add(time.Millisecond); return now }
+	tracers := make([]*trace.Recorder, 3)
+	for i := range tracers {
+		if i == 2 {
+			continue // node 2 has tracing disabled
+		}
+		tracers[i] = trace.NewRecorder(0, 16, clock)
+	}
+	tracers[1].Emit(trace.Event{Kind: trace.KSubmit, Note: "first"})
+	tracers[1].Emit(trace.Event{Kind: trace.KCommit, Note: "second"})
+	return DebugVars{Counters: c, Broadcast: b, Tracers: tracers}
+}
+
+func get(t *testing.T, path string) (int, string) {
+	t.Helper()
+	srv := httptest.NewServer(NewDebugHandler(debugFixture()))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	code, body := get(t, "/metrics")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{
+		"fragdb_txns_offered_total 10",
+		"fragdb_txns_committed_total 8",
+		"fragdb_txns_deadlocks_total 1",
+		"# TYPE fragdb_commit_latency_seconds histogram",
+		`fragdb_commit_latency_seconds_bucket{le="+Inf"} 2`,
+		"fragdb_commit_latency_seconds_count 2",
+		`fragdb_quasi_lag_seconds_bucket{le="+Inf"} 1`,
+		"fragdb_broadcast_log_entries 17",
+		"fragdb_broadcast_compacted_seqs 5",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q\n%s", want, body)
+		}
+	}
+	// Cumulative bucket counts never decrease.
+	if !strings.Contains(body, "fragdb_commit_latency_seconds_bucket") {
+		t.Fatalf("no latency buckets rendered:\n%s", body)
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	type nodeTrace struct {
+		Node   int `json:"node"`
+		Events []struct {
+			Kind string `json:"kind"`
+			Note string `json:"note"`
+		} `json:"events"`
+	}
+
+	code, body := get(t, "/trace?node=1&n=1")
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var got []nodeTrace
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if len(got) != 1 || got[0].Node != 1 || len(got[0].Events) != 1 {
+		t.Fatalf("want node 1 with 1 event, got %+v", got)
+	}
+	if got[0].Events[0].Kind != "commit" || got[0].Events[0].Note != "second" {
+		t.Errorf("tail should be the most recent event, got %+v", got[0].Events[0])
+	}
+
+	// Without node=, every recording node appears (node 2 is disabled).
+	code, body = get(t, "/trace")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	got = nil
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if len(got) != 2 {
+		t.Fatalf("want 2 recording nodes, got %d: %+v", len(got), got)
+	}
+
+	if code, _ := get(t, "/trace?node=9"); code != 400 {
+		t.Errorf("out-of-range node: want 400, got %d", code)
+	}
+	if code, _ := get(t, "/trace?n=-1"); code != 400 {
+		t.Errorf("negative n: want 400, got %d", code)
+	}
+}

@@ -1,0 +1,58 @@
+package fragdb_test
+
+import (
+	"testing"
+	"time"
+
+	"fragdb"
+)
+
+// BenchmarkTraceOverhead pins the flight recorder's cost on the engine
+// hot path: the same update workload runs with tracing disabled (the
+// production default — every emit site is a nil-receiver check) and
+// with a 4096-event recorder armed per node. The disabled variant is
+// the regression guard: it must stay within noise of the pre-trace
+// engine, and comparing the two sub-benchmarks bounds what arming the
+// recorder costs.
+func BenchmarkTraceOverhead(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		cap  int
+	}{
+		{"disabled", 0},
+		{"enabled", 4096},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cl := fragdb.NewCluster(fragdb.Config{
+					N: 3, Option: fragdb.UnrestrictedReads,
+					Seed: int64(i + 1), TraceCap: tc.cap,
+				})
+				cl.Catalog().AddFragment("F", "x")
+				cl.Tokens().Assign("F", fragdb.NodeAgent(0), 0)
+				if err := cl.Start(); err != nil {
+					b.Fatal(err)
+				}
+				cl.Load("x", int64(0))
+				for j := 0; j < 50; j++ {
+					cl.Node(0).Submit(fragdb.TxnSpec{
+						Agent: fragdb.NodeAgent(0), Fragment: "F",
+						Program: func(tx *fragdb.Tx) error {
+							v, err := tx.ReadInt("x")
+							if err != nil {
+								return err
+							}
+							return tx.Write("x", v+1)
+						},
+					}, nil)
+					cl.RunFor(10 * time.Millisecond)
+				}
+				if !cl.Settle(5 * time.Minute) {
+					b.Fatal("did not converge")
+				}
+				cl.Shutdown()
+			}
+		})
+	}
+}
