@@ -42,6 +42,7 @@ package broadcast
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"fragdb/internal/metrics"
 	"fragdb/internal/netsim"
@@ -56,13 +57,32 @@ type Data struct {
 	Payload any
 }
 
+// DataBatch carries a contiguous run of one origin's stream in a single
+// transport message: Payloads[i] has sequence number Start+i. Senders
+// coalesce optimistic pushes into batches (Config.BatchFlushDelay) and
+// ship anti-entropy repair as contiguous ranges, amortizing per-message
+// transport and codec cost across many payloads.
+type DataBatch struct {
+	Origin   netsim.NodeID
+	Start    uint64
+	Payloads []any
+}
+
 // Digest advertises, per origin, the highest contiguous sequence number
 // the sender has delivered. It requests repair (the receiver sends
 // anything newer), suppresses redundant retransmission, and — under
 // compaction — acknowledges the prefix so peers may truncate below the
 // watermark acked by all live nodes.
+//
+// Delta marks an incremental digest: it lists only streams whose prefix
+// changed since the last digest sent to that peer, and the receiver
+// merges it into its previous view. A full digest (Delta false)
+// replaces the previous view, so a sender that lost its state — a
+// restarted node advertising from scratch — correctly retracts stale
+// high prefixes.
 type Digest struct {
-	Have map[netsim.NodeID]uint64
+	Have  map[netsim.NodeID]uint64
+	Delta bool
 }
 
 // SnapshotOffer catches up a peer that has fallen behind the compaction
@@ -122,6 +142,17 @@ const (
 	// DefaultPendingWindow bounds the out-of-order buffer per origin:
 	// arrivals beyond prefix+window are dropped (anti-entropy refills).
 	DefaultPendingWindow = 512
+	// DefaultBatchMaxCount flushes a pending push batch once it holds
+	// this many payloads, regardless of the flush timer.
+	DefaultBatchMaxCount = 16
+	// DefaultBatchMaxBytes flushes a pending push batch once its
+	// payloads measure this many encoded bytes (per Config.SizeOf).
+	DefaultBatchMaxBytes = 16 << 10
+	// DefaultFullDigestRounds is the delta-digest resync cadence: every
+	// this-many gossip rounds the full prefix vector is sent instead of
+	// the delta, bounding how long a peer with lost or stale state can
+	// misjudge this node's streams.
+	DefaultFullDigestRounds = 4
 )
 
 // Config tunes a Broadcaster.
@@ -133,6 +164,24 @@ type Config struct {
 	// MaxBatch bounds how many missing messages are sent in response to
 	// one digest, per origin. Zero means unlimited.
 	MaxBatch int
+	// BatchFlushDelay, when positive, enables sender-side batching of
+	// optimistic pushes: Send buffers payloads and ships them as one
+	// DataBatch per peer when the oldest buffered payload has waited
+	// this long (in the Timer's time unit), or sooner when a count/byte
+	// threshold trips. Zero keeps the immediate per-payload push. The
+	// timer comes from the same Timer as gossip, so simulated runs stay
+	// deterministic (no wall-clock on the simulated path).
+	BatchFlushDelay int64
+	// BatchMaxCount overrides DefaultBatchMaxCount (the payload-count
+	// flush threshold; negative disables the count trigger).
+	BatchMaxCount int
+	// BatchMaxBytes overrides DefaultBatchMaxBytes (the encoded-bytes
+	// flush threshold, measured with SizeOf; negative or nil SizeOf
+	// disables the byte trigger).
+	BatchMaxBytes int
+	// FullDigestRounds overrides DefaultFullDigestRounds (values <= 1
+	// send a full digest every round, disabling deltas).
+	FullDigestRounds int
 	// Compaction enables acked-prefix log truncation and snapshot
 	// catch-up. Without it, every stream is retained in full.
 	Compaction bool
@@ -189,6 +238,38 @@ func (c Config) pendingWindow() uint64 {
 	}
 }
 
+func (c Config) batchMaxCount() int {
+	switch {
+	case c.BatchMaxCount > 0:
+		return c.BatchMaxCount
+	case c.BatchMaxCount < 0:
+		return 0 // count trigger disabled
+	default:
+		return DefaultBatchMaxCount
+	}
+}
+
+func (c Config) batchMaxBytes() int {
+	switch {
+	case c.BatchMaxBytes > 0:
+		return c.BatchMaxBytes
+	case c.BatchMaxBytes < 0:
+		return 0 // byte trigger disabled
+	default:
+		return DefaultBatchMaxBytes
+	}
+}
+
+func (c Config) fullDigestRounds() uint64 {
+	if c.FullDigestRounds > 1 {
+		return uint64(c.FullDigestRounds)
+	}
+	if c.FullDigestRounds != 0 {
+		return 1 // full digest every round
+	}
+	return DefaultFullDigestRounds
+}
+
 // stream is one origin's log as retained locally: entries[i] carries
 // sequence number base+i+1; seqs 1..base have been compacted away (or
 // superseded by an installed snapshot).
@@ -241,13 +322,27 @@ type Broadcaster struct {
 	// are queued.
 	delivered map[netsim.NodeID]uint64
 
-	// peerHave records each peer's last digest (its acked prefixes);
-	// peerSeen the gossip round it arrived in; offeredAt (stored as
-	// round+1) throttles snapshot offers to one per peer per round.
+	// peerHave records each peer's digest view (its acked prefixes),
+	// maintained across digests: full digests replace it, delta digests
+	// merge into it, reusing the map allocation. peerSeen is the gossip
+	// round the last digest arrived in; offeredAt (stored as round+1)
+	// throttles snapshot offers to one per peer per round.
 	peerHave  map[netsim.NodeID]map[netsim.NodeID]uint64
 	peerSeen  map[netsim.NodeID]uint64
 	offeredAt map[netsim.NodeID]uint64
 	round     uint64
+
+	// digestSent[p] is the prefix vector last advertised to peer p,
+	// updated in place each round; delta digests omit streams unchanged
+	// against it.
+	digestSent map[netsim.NodeID]map[netsim.NodeID]uint64
+
+	// batch buffers this node's own payloads awaiting a coalesced push:
+	// batch[i] has seq batchStart+i, batchBytes their measured size.
+	batch      []any
+	batchStart uint64
+	batchBytes int
+	stopFlush  func()
 
 	deliverQ   []delivery
 	delivering bool
@@ -273,6 +368,8 @@ func New(node netsim.NodeID, tr netsim.Transport, timer Timer, cfg Config, h Han
 		peerHave:  make(map[netsim.NodeID]map[netsim.NodeID]uint64),
 		peerSeen:  make(map[netsim.NodeID]uint64),
 		offeredAt: make(map[netsim.NodeID]uint64),
+
+		digestSent: make(map[netsim.NodeID]map[netsim.NodeID]uint64),
 	}
 	if cfg.GossipInterval > 0 && timer != nil {
 		b.scheduleGossip()
@@ -283,14 +380,19 @@ func New(node netsim.NodeID, tr netsim.Transport, timer Timer, cfg Config, h Han
 // Node returns the owning node id.
 func (b *Broadcaster) Node() netsim.NodeID { return b.node }
 
-// Stop cancels the periodic gossip.
+// Stop cancels the periodic gossip and any pending batch flush.
 func (b *Broadcaster) Stop() {
 	b.mu.Lock()
 	b.stopped = true
 	stop := b.stopGossip
+	flush := b.stopFlush
+	b.stopFlush = nil
 	b.mu.Unlock()
 	if stop != nil {
 		stop()
+	}
+	if flush != nil {
+		flush()
 	}
 }
 
@@ -320,23 +422,102 @@ func (b *Broadcaster) stream(origin netsim.NodeID) *stream {
 }
 
 // Send broadcasts payload: it is appended to this node's own stream,
-// delivered locally, and pushed to every peer. It returns the message's
-// sequence number in the node's stream.
+// delivered locally, and pushed to every peer — immediately, or through
+// the coalescing batch buffer when Config.BatchFlushDelay is set. It
+// returns the message's sequence number in the node's stream.
 func (b *Broadcaster) Send(payload any) uint64 {
 	b.mu.Lock()
 	b.nextSeq++
 	seq := b.nextSeq
 	b.appendEntry(b.node, payload)
-	msg := Data{Origin: b.node, Seq: seq, Payload: payload}
-	for p := 0; p < b.tr.N(); p++ {
-		if netsim.NodeID(p) == b.node {
-			continue
-		}
-		b.tr.Send(b.node, netsim.NodeID(p), msg)
+	if b.cfg.BatchFlushDelay > 0 {
+		b.bufferPush(seq, payload)
+	} else {
+		b.pushAll(Data{Origin: b.node, Seq: seq, Payload: payload}, 1)
 	}
 	b.drainDeliveries()
 	b.mu.Unlock()
 	return seq
+}
+
+// sendData hands one Data or DataBatch message carrying n payloads to a
+// peer, maintaining the amortization counters (messages sent vs.
+// payloads carried) and the batch-size histogram. Caller holds mu.
+func (b *Broadcaster) sendData(to netsim.NodeID, msg any, n int) {
+	b.tr.Send(b.node, to, msg)
+	if m := b.cfg.Metrics; m != nil {
+		m.DataSends.Add(1)
+		m.PayloadsSent.Add(uint64(n))
+		m.BatchSize.Observe(time.Duration(n))
+	}
+}
+
+// pushAll sends msg (carrying n payloads) to every peer. Caller holds
+// mu.
+func (b *Broadcaster) pushAll(msg any, n int) {
+	for p := 0; p < b.tr.N(); p++ {
+		if netsim.NodeID(p) == b.node {
+			continue
+		}
+		b.sendData(netsim.NodeID(p), msg, n)
+	}
+}
+
+// bufferPush queues one of our own payloads for a coalesced DataBatch
+// push. The buffer flushes when the count or byte threshold trips;
+// otherwise the flush timer — armed when the buffer goes non-empty, on
+// the same Timer as gossip so simulated runs stay deterministic — ships
+// it within BatchFlushDelay. Caller holds mu.
+func (b *Broadcaster) bufferPush(seq uint64, payload any) {
+	if len(b.batch) == 0 {
+		b.batchStart = seq
+		b.batchBytes = 0
+		if b.timer != nil {
+			b.stopFlush = b.timer.AfterFunc(b.cfg.BatchFlushDelay, b.flushTick)
+		}
+	}
+	b.batch = append(b.batch, payload)
+	if b.cfg.SizeOf != nil {
+		b.batchBytes += b.cfg.SizeOf(payload)
+	}
+	if c := b.cfg.batchMaxCount(); c > 0 && len(b.batch) >= c {
+		b.flushLocked()
+		return
+	}
+	if bb := b.cfg.batchMaxBytes(); bb > 0 && b.cfg.SizeOf != nil && b.batchBytes >= bb {
+		b.flushLocked()
+	}
+}
+
+func (b *Broadcaster) flushTick() {
+	b.mu.Lock()
+	if !b.stopped {
+		b.flushLocked()
+	}
+	b.mu.Unlock()
+}
+
+// flushLocked ships the buffered own-stream payloads as one DataBatch
+// per peer (a plain Data when a single payload is pending) and cancels
+// the armed flush timer. Caller holds mu.
+func (b *Broadcaster) flushLocked() {
+	if stop := b.stopFlush; stop != nil {
+		b.stopFlush = nil
+		stop() // no-op if the timer is what brought us here
+	}
+	if len(b.batch) == 0 {
+		return
+	}
+	var msg any
+	if len(b.batch) == 1 {
+		msg = Data{Origin: b.node, Seq: b.batchStart, Payload: b.batch[0]}
+	} else {
+		msg = DataBatch{Origin: b.node, Start: b.batchStart, Payloads: b.batch}
+	}
+	b.pushAll(msg, len(b.batch))
+	// The in-flight message aliases the slice; start a fresh one.
+	b.batch = nil
+	b.batchBytes = 0
 }
 
 // appendEntry extends origin's stream by one delivered entry and queues
@@ -457,19 +638,51 @@ func (b *Broadcaster) Gossip() {
 }
 
 func (b *Broadcaster) gossipLocked() {
+	b.flushLocked() // ship buffered pushes before advertising their seqs
 	b.round++
 	if b.cfg.Compaction {
 		b.compactLocked()
 	}
-	d := Digest{Have: make(map[netsim.NodeID]uint64, len(b.logs))}
-	for o, s := range b.logs {
-		d.Have[o] = s.prefix()
-	}
+	// Every fullDigestRounds-th round sends the complete prefix vector;
+	// in between, each peer gets only the streams that changed since the
+	// digest it last received (often an empty map, which still serves as
+	// the liveness heartbeat for the compaction watermark). The full
+	// vector is built once and shared across peers — in-flight messages
+	// alias it, so it is never mutated after this round.
+	full := b.round%b.cfg.fullDigestRounds() == 0
+	var fullHave map[netsim.NodeID]uint64
 	for p := 0; p < b.tr.N(); p++ {
-		if netsim.NodeID(p) == b.node {
+		id := netsim.NodeID(p)
+		if id == b.node {
 			continue
 		}
-		b.tr.Send(b.node, netsim.NodeID(p), d)
+		sent := b.digestSent[id]
+		var d Digest
+		if sent == nil || full {
+			if fullHave == nil {
+				fullHave = make(map[netsim.NodeID]uint64, len(b.logs))
+				for o, s := range b.logs {
+					fullHave[o] = s.prefix()
+				}
+			}
+			d = Digest{Have: fullHave}
+		} else {
+			delta := make(map[netsim.NodeID]uint64)
+			for o, s := range b.logs {
+				if pf := s.prefix(); sent[o] != pf {
+					delta[o] = pf
+				}
+			}
+			d = Digest{Have: delta, Delta: true}
+		}
+		b.tr.Send(b.node, id, d)
+		if sent == nil {
+			sent = make(map[netsim.NodeID]uint64, len(b.logs))
+			b.digestSent[id] = sent
+		}
+		for o, s := range b.logs {
+			sent[o] = s.prefix()
+		}
 	}
 }
 
@@ -549,6 +762,14 @@ func (b *Broadcaster) HandleMessage(from netsim.NodeID, payload any) bool {
 		b.drainDeliveries()
 		b.mu.Unlock()
 		return true
+	case DataBatch:
+		b.mu.Lock()
+		for i, p := range m.Payloads {
+			b.receive(Data{Origin: m.Origin, Seq: m.Start + uint64(i), Payload: p})
+		}
+		b.drainDeliveries()
+		b.mu.Unlock()
+		return true
 	case Digest:
 		b.mu.Lock()
 		b.repair(from, m)
@@ -617,17 +838,25 @@ func (b *Broadcaster) drainOrigin(origin netsim.NodeID) {
 	}
 }
 
-// repair answers a peer's digest with any messages the peer is missing
-// from streams this node has more of, recording the digest as the
-// peer's acknowledgment for the compaction watermark. A peer that has
-// fallen behind a stream's truncation horizon gets a snapshot offer
-// instead of unservable entries. Caller holds mu.
+// repair answers a peer's digest with the contiguous range of messages
+// the peer is missing from each stream this node has more of — one
+// DataBatch per origin instead of one message per sequence number —
+// recording the digest as the peer's acknowledgment for the compaction
+// watermark (full digests replace the recorded view, delta digests
+// merge into it). A peer that has fallen behind a stream's truncation
+// horizon gets a snapshot offer instead of unservable entries. Caller
+// holds mu.
 func (b *Broadcaster) repair(from netsim.NodeID, d Digest) {
-	have := make(map[netsim.NodeID]uint64, len(d.Have))
+	have := b.peerHave[from]
+	if have == nil {
+		have = make(map[netsim.NodeID]uint64, len(d.Have))
+		b.peerHave[from] = have
+	} else if !d.Delta {
+		clear(have) // full digest: retract streams the peer no longer lists
+	}
 	for o, h := range d.Have {
 		have[o] = h
 	}
-	b.peerHave[from] = have
 	b.peerSeen[from] = b.round
 
 	origins := make([]netsim.NodeID, 0, len(b.logs))
@@ -638,20 +867,38 @@ func (b *Broadcaster) repair(from netsim.NodeID, d Digest) {
 	behind := false
 	for _, o := range origins {
 		s := b.logs[o]
-		theirs := d.Have[o]
+		theirs := have[o]
 		if theirs < s.base {
 			// The missing prefix is gone here; entry-by-entry repair
 			// cannot help this peer for this stream.
 			behind = true
 			continue
 		}
-		sent := 0
-		for seq := theirs + 1; seq <= s.prefix(); seq++ {
-			if b.cfg.MaxBatch > 0 && sent >= b.cfg.MaxBatch {
-				break
+		hi := s.prefix()
+		if o == b.node && len(b.batch) > 0 && b.batchStart-1 < hi {
+			// Our buffered tail is about to ship via flush; serving it
+			// here too would just double-send it.
+			hi = b.batchStart - 1
+		}
+		if theirs >= hi {
+			continue
+		}
+		n := hi - theirs
+		if b.cfg.MaxBatch > 0 && n > uint64(b.cfg.MaxBatch) {
+			n = uint64(b.cfg.MaxBatch)
+		}
+		lo := theirs - s.base
+		// Full slice expression: the in-flight message aliases the log,
+		// and later appends to s.entries must not grow into it.
+		payloads := s.entries[lo : lo+n : lo+n]
+		if n == 1 || b.cfg.BatchFlushDelay <= 0 {
+			// Batching off: one Data per entry, the pre-batching wire
+			// behaviour, so the ablation axis compares like with like.
+			for i := uint64(0); i < n; i++ {
+				b.sendData(from, Data{Origin: o, Seq: theirs + 1 + i, Payload: payloads[i]}, 1)
 			}
-			b.tr.Send(b.node, from, Data{Origin: o, Seq: seq, Payload: s.entries[seq-s.base-1]})
-			sent++
+		} else {
+			b.sendData(from, DataBatch{Origin: o, Start: theirs + 1, Payloads: payloads}, int(n))
 		}
 	}
 	if behind && b.cfg.Compaction {

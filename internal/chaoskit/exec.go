@@ -11,6 +11,7 @@ import (
 	"fragdb/internal/history"
 	"fragdb/internal/metrics"
 	"fragdb/internal/netsim"
+	"fragdb/internal/simtime"
 	"fragdb/internal/workload"
 )
 
@@ -25,6 +26,40 @@ const txnTimeout = 2 * time.Second
 // horizon to actually advance — a compaction sweep that never compacts
 // proves nothing. Ignored by plans with Compaction false.
 const chaosCompactRetain = 8
+
+// Batch tuning for plans with Batching true: an aggressive flush delay
+// against the cluster's 50ms gossip interval, with a small count cap so
+// chaos workloads actually exercise both flush triggers. The timer runs
+// on the plan's deterministic scheduler.
+const (
+	chaosBatchFlushDelay = 5 * time.Millisecond
+	chaosBatchMaxCount   = 8
+)
+
+// batchConfig returns the core batching fields for a plan (zeroes when
+// the plan does not batch).
+func batchConfig(p Plan) (flush simtime.Duration, count int) {
+	if !p.Batching {
+		return 0, 0
+	}
+	return chaosBatchFlushDelay, chaosBatchMaxCount
+}
+
+// bankClusterConfig builds the banking workload's cluster config from a
+// plan (the bank forces its own option and topology).
+func bankClusterConfig(p Plan, opts RunOpts) core.Config {
+	cfg := core.Config{
+		N:             p.N,
+		Seed:          p.Seed,
+		Compaction:    p.Compaction,
+		CompactRetain: chaosCompactRetain,
+		LossProb:      p.LossProb,
+		TxnTimeout:    txnTimeout,
+		TraceCap:      opts.TraceCap,
+	}
+	cfg.BatchFlushDelay, cfg.BatchMaxCount = batchConfig(p)
+	return cfg
+}
 
 // settleBudget is the extra virtual time a run may spend converging
 // after the horizon (network fully repaired).
@@ -51,6 +86,10 @@ type Report struct {
 	MovesDone int
 	// Checks is the full invariant ladder, in evaluation order.
 	Checks []Check
+	// Broadcast is the run's cluster-wide broadcast metrics (log
+	// gauges, batching amortization counters); nil when the cluster
+	// never started.
+	Broadcast *metrics.Broadcast
 	// DOT is the global serialization graph (Graphviz), captured only
 	// when some check failed, for repro dumps.
 	DOT string
@@ -199,7 +238,7 @@ func scheduleFaults(cl *core.Cluster, p Plan) {
 // counters along declared edges); audits read several counters.
 func executeCounters(p Plan, opts RunOpts) *Report {
 	rep := &Report{Plan: p}
-	cl := core.NewCluster(core.Config{
+	cfg := core.Config{
 		N:              p.N,
 		Option:         p.Option,
 		Seed:           p.Seed,
@@ -209,7 +248,10 @@ func executeCounters(p Plan, opts RunOpts) *Report {
 		LossProb:       p.LossProb,
 		TxnTimeout:     txnTimeout,
 		TraceCap:       opts.TraceCap,
-	})
+	}
+	cfg.BatchFlushDelay, cfg.BatchMaxCount = batchConfig(p)
+	cl := core.NewCluster(cfg)
+	rep.Broadcast = cl.BroadcastStats()
 	for i := 0; i < p.Frags; i++ {
 		if err := cl.Catalog().AddFragment(fragID(i), ctrObj(i)); err != nil {
 			panic(err)
@@ -382,15 +424,7 @@ func executeBank(p Plan, opts RunOpts) *Report {
 	}
 	const initialBalance = 500
 	bank, err := workload.NewBank(workload.BankConfig{
-		Cluster: core.Config{
-			N:             p.N,
-			Seed:          p.Seed,
-			Compaction:    p.Compaction,
-			CompactRetain: chaosCompactRetain,
-			LossProb:      p.LossProb,
-			TxnTimeout:    txnTimeout,
-			TraceCap:      opts.TraceCap,
-		},
+		Cluster:        bankClusterConfig(p, opts),
 		CentralNode:    0,
 		Accounts:       accounts,
 		CustomerHome:   homes,
@@ -402,6 +436,7 @@ func executeBank(p Plan, opts RunOpts) *Report {
 		return rep
 	}
 	cl := bank.Cluster()
+	rep.Broadcast = cl.BroadcastStats()
 
 	scheduleFaults(cl, p)
 

@@ -167,6 +167,10 @@ type Plan struct {
 	// Compaction enables broadcast log truncation + snapshot catch-up;
 	// the invariant ladder must hold unchanged with it on.
 	Compaction bool
+	// Batching coalesces the broadcast's optimistic pushes into
+	// DataBatch messages (sender-side flush timer on the simulated
+	// clock); the invariant ladder must hold unchanged with it on.
+	Batching bool
 	// LossProb is the per-message random loss probability.
 	LossProb float64
 	// Horizon is the active phase's virtual duration; the executor then
@@ -211,6 +215,8 @@ type Profile struct {
 	MajorityChance float64
 	// Compaction runs every plan with broadcast log compaction on.
 	Compaction bool
+	// Batching runs every plan with broadcast push batching on.
+	Batching bool
 	// Topology bounds.
 	MinN, MaxN, MinFrags, MaxFrags int
 	// Workload bounds.
@@ -275,8 +281,25 @@ func CompactionProfile() Profile {
 	}
 }
 
+// BatchingProfile returns the propagation-pipeline profile: push
+// batching and compaction both on, moving agents, partitions, crashes,
+// and message loss — the full invariant ladder must hold while
+// DataBatch coalescing, contiguous-range repair, and delta digests
+// carry every stream.
+func BatchingProfile() Profile {
+	return Profile{
+		Name: "batching", Option: core.UnrestrictedReads,
+		Moving: true, Compaction: true, Batching: true,
+		MajorityChance: 0.35,
+		MinN:           3, MaxN: 5, MinFrags: 3, MaxFrags: 5,
+		MinSteps: 100, MaxSteps: 240,
+		MaxFaults: 3, MaxMoves: 2,
+		LossChance: 0.3, MaxLoss: 0.15,
+	}
+}
+
 // ProfileByName resolves a profile by name ("readlocks", "acyclic",
-// "unrestricted", "moving", "bank", "compaction").
+// "unrestricted", "moving", "bank", "compaction", "batching").
 func ProfileByName(name string) (Profile, bool) {
 	for _, p := range Profiles() {
 		if p.Name == name {
@@ -288,6 +311,9 @@ func ProfileByName(name string) (Profile, bool) {
 	}
 	if c := CompactionProfile(); c.Name == name {
 		return c, true
+	}
+	if bt := BatchingProfile(); bt.Name == name {
+		return bt, true
 	}
 	return Profile{}, false
 }
@@ -312,6 +338,7 @@ func Generate(seed int64, pr Profile) Plan {
 	p.Frags = topo.IntBetween(pr.MinFrags, pr.MaxFrags)
 	// Copied, not drawn: existing profiles' plans stay byte-identical.
 	p.Compaction = pr.Compaction
+	p.Batching = pr.Batching
 	if pr.Bank {
 		p.Option = core.UnrestrictedReads
 	}
@@ -535,6 +562,9 @@ func (p Plan) GoLiteral() string {
 	}
 	if p.Compaction {
 		fmt.Fprintf(&b, "\tCompaction: true,\n")
+	}
+	if p.Batching {
+		fmt.Fprintf(&b, "\tBatching: true,\n")
 	}
 	if p.LossProb > 0 {
 		fmt.Fprintf(&b, "\tLossProb: %g,\n", p.LossProb)

@@ -31,6 +31,7 @@ import (
 	"fragdb/internal/simtime"
 	"fragdb/internal/trace"
 	"fragdb/internal/txn"
+	"fragdb/internal/wire"
 )
 
 // ControlOption selects the read-control strategy of Section 4.
@@ -144,6 +145,18 @@ type Config struct {
 	// package defaults).
 	CompactRetain  int
 	PeerLiveRounds int
+	// BatchFlushDelay, when positive, batches the broadcast's optimistic
+	// pushes: committed quasi-transactions (and the control messages
+	// riding the broadcast) coalesce into DataBatch messages flushed
+	// when the oldest waits this long, or sooner when BatchMaxCount/
+	// BatchMaxBytes trips. The flush timer runs on the cluster's
+	// scheduler, so simulated runs stay deterministic. Zero keeps the
+	// immediate per-payload push.
+	BatchFlushDelay simtime.Duration
+	// BatchMaxCount and BatchMaxBytes tune the batch flush thresholds
+	// (zero: broadcast package defaults).
+	BatchMaxCount int
+	BatchMaxBytes int
 	// TraceCap, when positive, enables the per-node flight recorder with
 	// a ring buffer of that many events per node (see internal/trace).
 	// Zero disables tracing entirely: no events are constructed and the
@@ -260,7 +273,10 @@ func NewCluster(cfg Config) *Cluster {
 		fragOptions: make(map[fragments.FragmentID]ControlOption),
 		replicas:    make(map[fragments.FragmentID]map[netsim.NodeID]bool),
 	}
-	var opts []netsim.Option
+	// The fast wire codec makes per-delivery size accounting cheap
+	// (analytic for the hot types, memoized rejection for the
+	// simulation-internal ones), so every cluster meters wire bytes.
+	opts := []netsim.Option{netsim.WithSizeFunc(wire.Size)}
 	if cfg.NetLatency != nil {
 		opts = append(opts, netsim.WithLatency(cfg.NetLatency))
 	}

@@ -73,6 +73,18 @@ func (n *Node) checkMajority(t *activeTxn) {
 	if !t.waitingMajority || len(t.acks) < n.cl.majority() {
 		return
 	}
+	// The fragment may have switched epochs — a no-preparation move's M0
+	// (Section 4.4.3) — while acknowledgments were in flight. The
+	// prepared position belongs to the dead epoch: installing it would
+	// regress the stream below the switch point and wedge every
+	// new-epoch quasi-transaction behind the gap. Nothing has been
+	// externalized yet (remotes hold the quasi only in their prepared
+	// buffers), so decide abort, as FenceMoving does for prepared moves.
+	if !n.cl.IsCommutative(t.pendingQuasi.Fragment) &&
+		t.pendingQuasi.Pos.Epoch != n.stream(t.pendingQuasi.Fragment).last.Epoch {
+		n.abortBlocked(t, ErrAgentMoving)
+		return
+	}
 	t.waitingMajority = false
 	n.commitLocal(t, t.pendingQuasi, false)
 }

@@ -224,14 +224,17 @@ func newNode(cl *Cluster, id netsim.NodeID) *Node {
 	n.locks = n.newLockManager()
 	n.bcast = broadcast.New(id, cl.net, cl.timer(),
 		broadcast.Config{
-			GossipInterval: int64(cl.cfg.GossipInterval),
-			Compaction:     cl.cfg.Compaction,
-			CompactRetain:  cl.cfg.CompactRetain,
-			PeerLiveRounds: cl.cfg.PeerLiveRounds,
-			Snapshot:       nodeSnapshotter{n},
-			Metrics:        cl.bstats,
-			SizeOf:         wire.Size,
-			Trace:          n.tr,
+			GossipInterval:  int64(cl.cfg.GossipInterval),
+			BatchFlushDelay: int64(cl.cfg.BatchFlushDelay),
+			BatchMaxCount:   cl.cfg.BatchMaxCount,
+			BatchMaxBytes:   cl.cfg.BatchMaxBytes,
+			Compaction:      cl.cfg.Compaction,
+			CompactRetain:   cl.cfg.CompactRetain,
+			PeerLiveRounds:  cl.cfg.PeerLiveRounds,
+			Snapshot:        nodeSnapshotter{n},
+			Metrics:         cl.bstats,
+			SizeOf:          wire.Size,
+			Trace:           n.tr,
 		},
 		n.handleBroadcast)
 	cl.net.SetHandler(id, n.handleTransport)

@@ -99,13 +99,35 @@ type Broadcast struct {
 	// PendingDropped counts out-of-order arrivals discarded beyond the
 	// bounded pending window (anti-entropy redelivers them later).
 	PendingDropped atomic.Uint64
+
+	// DataSends counts Data/DataBatch messages handed to the transport
+	// (optimistic pushes and anti-entropy repair, per destination).
+	DataSends atomic.Uint64
+	// PayloadsSent counts the payloads those messages carried.
+	// PayloadsSent/DataSends is the batching amortization ratio: with
+	// batching off it is exactly 1.
+	PayloadsSent atomic.Uint64
+	// BatchSize is the distribution of payloads per data message on the
+	// wire, observed as a count (1 "nanosecond" per payload).
+	BatchSize Histogram
+}
+
+// Amortization returns PayloadsSent / DataSends — the mean payloads
+// carried per data message (1 when nothing was sent).
+func (b *Broadcast) Amortization() float64 {
+	sends := b.DataSends.Load()
+	if sends == 0 {
+		return 1
+	}
+	return float64(b.PayloadsSent.Load()) / float64(sends)
 }
 
 // String renders the broadcast gauges and counters on one line.
 func (b *Broadcast) String() string {
-	return fmt.Sprintf("log-entries=%d log-bytes=%d compacted=%d snapshots=%d/%d pending-dropped=%d",
+	return fmt.Sprintf("log-entries=%d log-bytes=%d compacted=%d snapshots=%d/%d pending-dropped=%d data-sends=%d payloads=%d amortization=%.2f",
 		b.LogEntries.Load(), b.LogBytes.Load(), b.CompactedSeqs.Load(),
-		b.SnapshotsInstalled.Load(), b.SnapshotsSent.Load(), b.PendingDropped.Load())
+		b.SnapshotsInstalled.Load(), b.SnapshotsSent.Load(), b.PendingDropped.Load(),
+		b.DataSends.Load(), b.PayloadsSent.Load(), b.Amortization())
 }
 
 // Chaos aggregates the counters of a chaoskit campaign: plans run,

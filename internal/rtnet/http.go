@@ -78,6 +78,17 @@ func writePrometheus(w http.ResponseWriter, v DebugVars) {
 		gauge("broadcast_snapshots_sent", "Snapshot catch-up offers served.", int64(b.SnapshotsSent.Load()))
 		gauge("broadcast_snapshots_installed", "Snapshot catch-up offers accepted.", int64(b.SnapshotsInstalled.Load()))
 		gauge("broadcast_pending_dropped", "Out-of-order arrivals dropped.", int64(b.PendingDropped.Load()))
+		counter := func(name, help string, val uint64) {
+			fmt.Fprintf(w, "# HELP fragdb_%s %s\n# TYPE fragdb_%s counter\nfragdb_%s %d\n",
+				name, help, name, name, val)
+		}
+		counter("broadcast_data_sends_total", "Data messages sent (batched or single).", b.DataSends.Load())
+		counter("broadcast_payloads_sent_total", "Payloads carried by data messages.", b.PayloadsSent.Load())
+		fmt.Fprintf(w, "# HELP fragdb_broadcast_amortization Payloads per data message (batching win).\n"+
+			"# TYPE fragdb_broadcast_amortization gauge\nfragdb_broadcast_amortization %g\n",
+			b.Amortization())
+		writeCountHistogram(w, "broadcast_batch_size",
+			"Payloads per data message, by message.", &b.BatchSize)
 	}
 }
 
@@ -93,6 +104,21 @@ func writeHistogram(w http.ResponseWriter, name, help string, h *metrics.Histogr
 	}
 	fmt.Fprintf(w, "fragdb_%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
 	fmt.Fprintf(w, "fragdb_%s_sum %g\n", name, h.Sum().Seconds())
+	fmt.Fprintf(w, "fragdb_%s_count %d\n", name, h.Count())
+}
+
+// writeCountHistogram renders a histogram whose samples are plain
+// counts (stored as nanosecond ticks), so bucket bounds are unitless
+// integers rather than seconds.
+func writeCountHistogram(w http.ResponseWriter, name, help string, h *metrics.Histogram) {
+	fmt.Fprintf(w, "# HELP fragdb_%s %s\n# TYPE fragdb_%s histogram\n", name, help, name)
+	cum := uint64(0)
+	for _, b := range h.Buckets() {
+		cum += b.Count
+		fmt.Fprintf(w, "fragdb_%s_bucket{le=\"%d\"} %d\n", name, int64(b.Upper), cum)
+	}
+	fmt.Fprintf(w, "fragdb_%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+	fmt.Fprintf(w, "fragdb_%s_sum %d\n", name, int64(h.Sum()))
 	fmt.Fprintf(w, "fragdb_%s_count %d\n", name, h.Count())
 }
 

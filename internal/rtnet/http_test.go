@@ -25,6 +25,11 @@ func debugFixture() DebugVars {
 	b := &metrics.Broadcast{}
 	b.LogEntries.Store(17)
 	b.CompactedSeqs.Add(5)
+	b.DataSends.Add(3)
+	b.PayloadsSent.Add(12)
+	b.BatchSize.Observe(1)
+	b.BatchSize.Observe(3)
+	b.BatchSize.Observe(8)
 
 	var now simtime.Time
 	clock := func() simtime.Time { now = now.Add(time.Millisecond); return now }
@@ -71,6 +76,13 @@ func TestMetricsEndpoint(t *testing.T) {
 		`fragdb_quasi_lag_seconds_bucket{le="+Inf"} 1`,
 		"fragdb_broadcast_log_entries 17",
 		"fragdb_broadcast_compacted_seqs 5",
+		"fragdb_broadcast_data_sends_total 3",
+		"fragdb_broadcast_payloads_sent_total 12",
+		"fragdb_broadcast_amortization 4",
+		"# TYPE fragdb_broadcast_batch_size histogram",
+		`fragdb_broadcast_batch_size_bucket{le="+Inf"} 3`,
+		"fragdb_broadcast_batch_size_sum 12",
+		"fragdb_broadcast_batch_size_count 3",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics output missing %q\n%s", want, body)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"fragdb/internal/broadcast"
+	"fragdb/internal/netsim"
 	"fragdb/internal/txn"
 )
 
@@ -25,7 +26,9 @@ func corpusPayloads() []any {
 	return []any{
 		q,
 		broadcast.Data{Origin: 1, Seq: 9, Payload: q},
+		broadcast.DataBatch{Origin: 1, Start: 9, Payloads: []any{q, "m1", int64(3), nil}},
 		broadcast.Digest{},
+		broadcast.Digest{Have: map[netsim.NodeID]uint64{0: 3, 1: 7}, Delta: true},
 		int64(-1),
 		"m0",
 		true,
