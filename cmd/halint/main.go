@@ -1,0 +1,254 @@
+// Command halint runs the fragdb static-analysis suite: machine checks
+// for the determinism, locking, and wire invariants the engine's
+// correctness arguments lean on (see DESIGN.md, "Determinism & locking
+// contract").
+//
+// Standalone (the canonical mode, used by CI):
+//
+//	go run ./cmd/halint ./...
+//	go run ./cmd/halint -only nowalltime ./internal/core
+//
+// Findings print as "file:line:col: [analyzer] message"; the exit
+// status is 1 when there are findings, 2 on driver errors.
+//
+// The binary also speaks enough of the go vet unitchecker protocol to
+// be used as `go vet -vettool=$(which halint) ./...`: in that mode only
+// the syntax-level analyzers run (go vet hands the tool one package's
+// files at a time, so the cross-package type analysis that wireencodable
+// needs is not available; run the standalone mode for full coverage).
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fragdb/internal/analysis"
+	"fragdb/internal/analysis/registry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// go vet probes the tool with -V=full before anything else; the
+	// line must end in a buildID derived from the binary so the build
+	// cache invalidates when halint changes. Then it asks for the
+	// tool's flag definitions as JSON.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Printf("halint version devel buildID=%s\n", selfID())
+		return 0
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return 0
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return unitcheck(args[0])
+	}
+
+	fs := flag.NewFlagSet("halint", flag.ExitOnError)
+	only := fs.String("only", "", "run only the named analyzer (comma-separated list)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: halint [-only name,...] [packages]\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range registry.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := registry.All()
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a := registry.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "halint: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "halint:", err)
+		return 2
+	}
+	root, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "halint:", err)
+		return 2
+	}
+	prog, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "halint:", err)
+		return 2
+	}
+
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		ds, err := analysis.Run(prog, a)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "halint:", err)
+			return 2
+		}
+		diags = append(diags, ds...)
+	}
+	if *only == "" {
+		diags = append(diags, analysis.DirectiveDiagnostics(prog)...)
+	}
+	analysis.SortDiagnostics(prog.Fset, diags)
+	diags = filterPatterns(prog, diags, fs.Args(), wd)
+
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		rel, err := filepath.Rel(wd, pos.Filename)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			rel = pos.Filename
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", rel, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "halint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// filterPatterns narrows findings to the requested package directories.
+// The whole module is always analyzed (wireencodable needs the full
+// program); "./..." and no arguments mean everything.
+func filterPatterns(prog *analysis.Program, diags []analysis.Diagnostic, patterns []string, wd string) []analysis.Diagnostic {
+	var roots []string
+	for _, p := range patterns {
+		if p == "./..." || p == "all" {
+			return diags
+		}
+		dir := strings.TrimSuffix(p, "/...")
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(wd, dir)
+		}
+		roots = append(roots, filepath.Clean(dir))
+	}
+	if len(roots) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		file := prog.Fset.Position(d.Pos).Filename
+		for _, root := range roots {
+			if file == root || strings.HasPrefix(file, root+string(filepath.Separator)) {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// selfID hashes the running binary for the -V=full build ID.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return "unknown"
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:16])
+}
+
+// vetConfig is the slice of the unitchecker .cfg file halint needs.
+type vetConfig struct {
+	ImportPath string
+	GoFiles    []string
+	VetxOutput string
+	VetxOnly   bool
+}
+
+// unitcheck implements the go vet -vettool protocol for the
+// syntax-level analyzers: one package's files, no cross-package types.
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "halint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "halint:", err)
+		return 1
+	}
+	// go vet requires the facts file to exist even though halint
+	// records no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "halint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "halint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0
+	}
+	pkg := &analysis.Package{
+		Path:  cfg.ImportPath,
+		Name:  files[0].Name.Name,
+		Files: files,
+	}
+	prog := &analysis.Program{Fset: fset, Pkgs: []*analysis.Package{pkg}}
+
+	var diags []analysis.Diagnostic
+	for _, a := range registry.All() {
+		if a.NeedsTypes {
+			continue
+		}
+		ds, err := analysis.Run(prog, a)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "halint:", err)
+			return 1
+		}
+		diags = append(diags, ds...)
+	}
+	diags = append(diags, analysis.DirectiveDiagnostics(prog)...)
+	analysis.SortDiagnostics(fset, diags)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

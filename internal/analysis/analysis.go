@@ -1,0 +1,190 @@
+// Package analysis is a self-contained micro-framework for the halint
+// static checkers: a minimal mirror of the golang.org/x/tools
+// go/analysis vocabulary (Analyzer, Pass, Diagnostic) built entirely on
+// the standard library's go/ast, go/parser, and go/types, so the suite
+// carries no external dependencies. If x/tools ever becomes available
+// in the build environment, each analyzer's Run signature is shaped so
+// porting is a mechanical wrap.
+//
+// The framework loads the whole module at once (see load.go): every
+// analyzer runs per package but can see the complete Program, which is
+// what lets wireencodable correlate send sites in core with the codec's
+// registered-type set in internal/wire. Packages come in two flavors —
+// typed (non-test sources, checked with go/types against module-local
+// imports and stub stdlib packages) and syntax-only (test files, which
+// AST-level analyzers still cover).
+//
+// Findings are suppressed by directive comments (see directive.go):
+//
+//	//halint:allow <analyzer>[,<analyzer>] -- <justification>
+//
+// placed on the offending line or the line directly above it. The
+// justification is mandatory; a bare allow is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and allow directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// NeedsTypes marks analyzers that require go/types information;
+	// they are skipped on syntax-only (test-file) packages.
+	NeedsTypes bool
+	// Run reports the analyzer's findings for one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Package is one loaded package: its syntax and, when typed, its
+// go/types information.
+type Package struct {
+	// Path is the import path ("fragdb/internal/core"; fixture packages
+	// use their bare directory name). Test-file groups carry the
+	// TestSuffix marker.
+	Path  string
+	Name  string
+	Files []*ast.File
+	// Types and Info are nil for syntax-only packages.
+	Types *types.Package
+	Info  *types.Info
+
+	directives map[*ast.File][]directive
+}
+
+// TestSuffix marks the syntax-only package grouping a directory's
+// _test.go files.
+const TestSuffix = " [tests]"
+
+// Typed reports whether type information is available.
+func (p *Package) Typed() bool { return p.Info != nil }
+
+// BasePath is the import path without the test-group marker.
+func (p *Package) BasePath() string { return strings.TrimSuffix(p.Path, TestSuffix) }
+
+// Program is the full set of loaded packages sharing one FileSet.
+type Program struct {
+	Fset *token.FileSet
+	// Pkgs is ordered: typed packages in dependency order, then
+	// syntax-only test groups.
+	Pkgs []*Package
+
+	byPath map[string]*Package
+}
+
+// Lookup returns the typed package with the given import path, or nil.
+func (prog *Program) Lookup(path string) *Package { return prog.byPath[path] }
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Prog     *Program
+	Pkg      *Package
+	Analyzer *Analyzer
+
+	diags *[]Diagnostic
+}
+
+// Fset returns the shared file set.
+func (p *Pass) Fset() *token.FileSet { return p.Prog.Fset }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf resolves an expression's type, or nil when unknown (untyped
+// package, unresolved stdlib stub, or type error). Identifiers fall
+// back to Uses/Defs so plain variable references resolve too.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	info := p.Pkg.Info
+	if info == nil {
+		return nil
+	}
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		if basic, ok := tv.Type.(*types.Basic); ok && basic.Kind() == types.Invalid {
+			return nil
+		}
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// Run executes the analyzer over every package of the program (typed
+// packages only when the analyzer needs types), returning its findings
+// with allow-directive suppression already applied.
+func Run(prog *Program, a *Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if a.NeedsTypes && !pkg.Typed() {
+			continue
+		}
+		pass := &Pass{Prog: prog, Pkg: pkg, Analyzer: a, diags: &diags}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	return Suppress(prog, diags), nil
+}
+
+// Suppress drops diagnostics covered by an allow directive for their
+// analyzer on the same line or the line directly above.
+func Suppress(prog *Program, diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if !prog.allowedAt(d.Pos, d.Analyzer) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// AllowedAt reports whether an allow directive for the analyzer covers
+// the given position (used by analyzers that sanction whole
+// declarations, e.g. wireencodable's type-level allows).
+func (prog *Program) AllowedAt(pos token.Pos, analyzer string) bool {
+	return prog.allowedAt(pos, analyzer)
+}
+
+// SortDiagnostics orders findings by file position for stable output.
+func SortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}

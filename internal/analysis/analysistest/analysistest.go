@@ -1,0 +1,163 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture
+// trees (testdata/src/<pkg>/*.go) and checks its findings against
+// `// want "regexp"` comments, mirroring the x/tools package of the
+// same name so fixtures stay portable if the suite ever moves onto the
+// upstream framework.
+//
+// Every directory under testdata/src is loaded (so fixture packages can
+// import each other by bare name); the analyzer runs over — and
+// expectations are collected from — only the packages named in the Run
+// call. A line with a finding needs a matching want comment; a want
+// comment with no finding fails; a finding suppressed by an allow
+// directive needs no want, which is how the escape-hatch fixtures prove
+// suppression works.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fragdb/internal/analysis"
+)
+
+// wantRE extracts the quoted patterns of a want comment: Go-quoted
+// strings or backtick-raw strings, as in upstream analysistest.
+var wantRE = regexp.MustCompile("`([^`]*)`" + `|"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads dir/src/*, applies the analyzer to the packages named in
+// pkgs, and compares findings with want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	src := filepath.Join(dir, "src")
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	dirs := make(map[string]string)
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs[e.Name()] = filepath.Join(src, e.Name())
+		}
+	}
+	prog, err := analysis.LoadDirs(dirs)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+
+	analyzed := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		analyzed[p] = true
+	}
+
+	diags, err := analysis.Run(prog, a)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var expects []*expectation
+	for _, pkg := range prog.Pkgs {
+		if !analyzed[pkg.BasePath()] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			expects = append(expects, collectWants(t, prog.Fset, f)...)
+		}
+	}
+
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		if !analyzed[pkgOf(prog, d.Pos)] {
+			continue
+		}
+		if !match(expects, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected finding: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", e.file, e.line, e.pattern)
+		}
+	}
+}
+
+// pkgOf maps a position back to the base path of the package holding
+// its file.
+func pkgOf(prog *analysis.Program, pos token.Pos) string {
+	name := prog.Fset.Position(pos).Filename
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			if ff := prog.Fset.File(f.Pos()); ff != nil && ff.Name() == name {
+				return pkg.BasePath()
+			}
+		}
+	}
+	return ""
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			ms := wantRE.FindAllStringSubmatch(text, -1)
+			if len(ms) == 0 {
+				t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+			}
+			for _, m := range ms {
+				pat := m[1]
+				if pat == "" {
+					if unq, err := strconv.Unquote(`"` + m[2] + `"`); err == nil {
+						pat = unq
+					} else {
+						pat = m[2]
+					}
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+			}
+		}
+	}
+	return out
+}
+
+func match(expects []*expectation, file string, line int, msg string) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == file && e.line == line && e.pattern.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// Testdata returns the testdata directory of the calling test's
+// package (the conventional fixture root).
+func Testdata(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(wd, "testdata")
+}

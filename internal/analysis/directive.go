@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive comments steer the analyzers:
+//
+//	//halint:allow <analyzer>[,<analyzer>] -- <justification>
+//	    suppresses the named analyzers (or "all") on this line and the
+//	    next; the justification after " -- " is mandatory.
+//	//halint:blocking
+//	    on a function declaration, marks calls to it as blocking for
+//	    the lockedsend analyzer.
+//	//halint:exhaustive <TypeName>
+//	    on the line above a switch statement, makes traceexhaustive
+//	    require a case for every constant of that type.
+const directivePrefix = "//halint:"
+
+type directive struct {
+	kind string // "allow", "blocking", "exhaustive", ...
+	args string // text after the kind, before any " -- " justification
+	why  string // justification after " -- " (allow only)
+	line int
+	pos  token.Pos
+}
+
+// fileDirectives scans (and caches) a file's halint directives.
+func (p *Package) fileDirectives(fset *token.FileSet, f *ast.File) []directive {
+	if ds, ok := p.directives[f]; ok {
+		return ds
+	}
+	var ds []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok {
+				continue
+			}
+			body, why, _ := strings.Cut(text, " -- ")
+			kind, args, _ := strings.Cut(strings.TrimSpace(body), " ")
+			ds = append(ds, directive{
+				kind: kind,
+				args: strings.TrimSpace(args),
+				why:  strings.TrimSpace(why),
+				line: fset.Position(c.Pos()).Line,
+				pos:  c.Pos(),
+			})
+		}
+	}
+	if p.directives == nil {
+		p.directives = make(map[*ast.File][]directive)
+	}
+	p.directives[f] = ds
+	return ds
+}
+
+// allowNames parses the comma-separated analyzer list of an allow
+// directive.
+func (d directive) allowNames() []string {
+	parts := strings.Split(d.args, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func (d directive) allows(analyzer string) bool {
+	if d.kind != "allow" {
+		return false
+	}
+	for _, n := range d.allowNames() {
+		if n == analyzer || n == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// allowedAt reports whether any allow directive for the analyzer sits
+// on pos's line or the line directly above it.
+func (prog *Program) allowedAt(pos token.Pos, analyzer string) bool {
+	if !pos.IsValid() {
+		return false
+	}
+	position := prog.Fset.Position(pos)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ff := prog.Fset.File(f.Pos())
+			if ff == nil || ff.Name() != position.Filename {
+				continue
+			}
+			for _, d := range pkg.fileDirectives(prog.Fset, f) {
+				if d.allows(analyzer) && (d.line == position.Line || d.line == position.Line-1) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// DirectiveDiagnostics lints the directives themselves: an allow
+// without a justification defeats the audit trail the escape hatch
+// exists to keep, so it is a finding in its own right.
+func DirectiveDiagnostics(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range pkg.fileDirectives(prog.Fset, f) {
+				switch d.kind {
+				case "allow":
+					if d.why == "" {
+						diags = append(diags, Diagnostic{
+							Pos:      d.pos,
+							Analyzer: "halint",
+							Message:  `allow directive needs a justification: //halint:allow <analyzer> -- <why>`,
+						})
+					}
+				case "blocking", "exhaustive":
+					// shape checked by their consumers
+				default:
+					diags = append(diags, Diagnostic{
+						Pos:      d.pos,
+						Analyzer: "halint",
+						Message:  "unknown halint directive " + directivePrefix + d.kind,
+					})
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// FuncIsBlocking reports whether a function declaration carries the
+// //halint:blocking directive (checked against the doc comment's
+// lines).
+func FuncIsBlocking(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, directivePrefix+"blocking") {
+			return true
+		}
+	}
+	return false
+}
+
+// ExhaustiveTypeAt returns the type name named by an
+// //halint:exhaustive directive on the given line or the line above,
+// or "".
+func (p *Package) ExhaustiveTypeAt(fset *token.FileSet, f *ast.File, line int) string {
+	for _, d := range p.fileDirectives(fset, f) {
+		if d.kind == "exhaustive" && (d.line == line || d.line == line-1) {
+			return d.args
+		}
+	}
+	return ""
+}

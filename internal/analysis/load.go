@@ -1,0 +1,299 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader builds a Program without the go command or x/tools:
+// packages are discovered by walking the module tree, parsed with
+// go/parser, and type-checked with go/types against the other
+// module-local packages. Imports outside the module (the standard
+// library) resolve to empty stub packages; the resulting type errors
+// are swallowed, leaving best-effort type information — complete for
+// module-local types, absent for stdlib-valued expressions — which is
+// exactly what the analyzers key on. Test files are not type-checked
+// (external test packages would introduce import cycles into the
+// single-pass check); they are grouped into syntax-only packages that
+// AST-level analyzers still cover.
+
+// loader accumulates state while building one Program.
+type loader struct {
+	fset    *token.FileSet
+	module  string            // module path from go.mod ("" for fixture loads)
+	dirs    map[string]string // import path -> directory
+	built   map[string]*types.Package
+	pkgs    map[string]*Package
+	pending map[string]bool // cycle guard
+	order   []string        // typed packages in completion order
+}
+
+// LoadModule loads every package under the module rooted at root
+// (the directory containing go.mod).
+func LoadModule(root string) (*Program, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading go.mod: %w", err)
+	}
+	module := modulePath(string(data))
+	if module == "" {
+		return nil, fmt.Errorf("analysis: no module line in %s/go.mod", root)
+	}
+
+	ld := newLoader(module)
+	if err := ld.discover(root, module); err != nil {
+		return nil, err
+	}
+	return ld.build()
+}
+
+// LoadDirs loads an explicit import-path -> directory map (the fixture
+// loader of package analysistest). All packages are type-checked;
+// fixture imports resolve among each other by import path.
+func LoadDirs(dirs map[string]string) (*Program, error) {
+	ld := newLoader("")
+	for path, dir := range dirs {
+		ld.dirs[path] = dir
+	}
+	return ld.build()
+}
+
+func newLoader(module string) *loader {
+	return &loader{
+		fset:    token.NewFileSet(),
+		module:  module,
+		dirs:    make(map[string]string),
+		built:   make(map[string]*types.Package),
+		pkgs:    make(map[string]*Package),
+		pending: make(map[string]bool),
+	}
+}
+
+// modulePath extracts the module path from go.mod content.
+func modulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}
+
+// discover walks the tree registering every directory holding .go
+// files. Directories named testdata (analyzer fixtures with deliberate
+// violations live there), hidden directories, and underscore
+// directories are skipped, matching go-tool convention.
+func (ld *loader) discover(root, pathPrefix string) error {
+	return filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(p, ".go") {
+			return nil
+		}
+		dir := filepath.Dir(p)
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return err
+		}
+		imp := pathPrefix
+		if rel != "." {
+			imp = pathPrefix + "/" + filepath.ToSlash(rel)
+		}
+		ld.dirs[imp] = dir
+		return nil
+	})
+}
+
+// build parses and type-checks every registered directory, then groups
+// test files into syntax-only packages.
+func (ld *loader) build() (*Program, error) {
+	paths := make([]string, 0, len(ld.dirs))
+	for p := range ld.dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	var testPkgs []*Package
+	for _, path := range paths {
+		if _, err := ld.load(path); err != nil {
+			return nil, err
+		}
+		tp, err := ld.loadTests(path)
+		if err != nil {
+			return nil, err
+		}
+		if tp != nil {
+			testPkgs = append(testPkgs, tp)
+		}
+	}
+
+	prog := &Program{Fset: ld.fset, byPath: make(map[string]*Package)}
+	for _, path := range ld.order {
+		pkg := ld.pkgs[path]
+		prog.Pkgs = append(prog.Pkgs, pkg)
+		prog.byPath[path] = pkg
+	}
+	prog.Pkgs = append(prog.Pkgs, testPkgs...)
+	return prog, nil
+}
+
+// parseDir parses a directory's .go files; test selects _test.go files
+// or the rest.
+func (ld *loader) parseDir(dir string, test bool) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") != test {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// load parses and type-checks the non-test files of one import path,
+// memoized. Returns nil (no error) for unknown paths.
+func (ld *loader) load(path string) (*types.Package, error) {
+	if tp, ok := ld.built[path]; ok {
+		return tp, nil
+	}
+	dir, ok := ld.dirs[path]
+	if !ok || ld.pending[path] {
+		return nil, nil
+	}
+	ld.pending[path] = true
+	defer delete(ld.pending, path)
+
+	files, err := ld.parseDir(dir, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{
+		Importer:         (*progImporter)(ld),
+		Error:            func(error) {}, // best-effort: stub imports error freely
+		FakeImportC:      true,
+		IgnoreFuncBodies: false,
+	}
+	tp, _ := conf.Check(path, ld.fset, files, info) // errors intentionally ignored
+	if tp == nil {
+		tp = types.NewPackage(path, files[0].Name.Name)
+	}
+	ld.built[path] = tp
+	ld.pkgs[path] = &Package{
+		Path:  path,
+		Name:  files[0].Name.Name,
+		Files: files,
+		Types: tp,
+		Info:  info,
+	}
+	ld.order = append(ld.order, path)
+	return tp, nil
+}
+
+// loadTests groups a directory's _test.go files (in-package and
+// external alike) into one syntax-only package.
+func (ld *loader) loadTests(path string) (*Package, error) {
+	files, err := ld.parseDir(ld.dirs[path], true)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	return &Package{
+		Path:  path + TestSuffix,
+		Name:  files[0].Name.Name,
+		Files: files,
+	}, nil
+}
+
+// progImporter resolves imports during type checking: module-local
+// paths load recursively; everything else (the standard library) gets
+// an empty stub so checking proceeds with partial information.
+type progImporter loader
+
+func (imp *progImporter) Import(path string) (*types.Package, error) {
+	ld := (*loader)(imp)
+	if tp, err := ld.load(path); err != nil {
+		return nil, err
+	} else if tp != nil {
+		return tp, nil
+	}
+	stub := types.NewPackage(path, stubName(path))
+	stub.MarkComplete()
+	ld.built[path] = stub
+	return stub, nil
+}
+
+// stubName guesses a package name from its import path ("math/rand/v2"
+// -> "rand").
+func stubName(path string) string {
+	segs := strings.Split(path, "/")
+	name := segs[len(segs)-1]
+	if len(segs) > 1 && len(name) > 1 && name[0] == 'v' && allDigits(name[1:]) {
+		name = segs[len(segs)-2]
+	}
+	return name
+}
+
+func allDigits(s string) bool {
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory
+// containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod at or above %s", dir)
+		}
+		dir = parent
+	}
+}

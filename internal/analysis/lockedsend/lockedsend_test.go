@@ -1,0 +1,16 @@
+package lockedsend_test
+
+import (
+	"testing"
+
+	"fragdb/internal/analysis/analysistest"
+	"fragdb/internal/analysis/lockedsend"
+)
+
+// TestFixtures proves the analyzer flags blocking operations under a
+// held mutex, tracks release paths, honors the *Locked / "Caller holds
+// mu" entry conventions and the //halint:blocking marker, and stays
+// quiet on goroutine bodies and allow-directive lines.
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), lockedsend.Analyzer, "a")
+}

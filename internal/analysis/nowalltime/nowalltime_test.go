@@ -1,0 +1,35 @@
+package nowalltime_test
+
+import (
+	"testing"
+
+	"fragdb/internal/analysis/analysistest"
+	"fragdb/internal/analysis/nowalltime"
+)
+
+// TestFixtures proves the analyzer fires on wall-clock and global-rand
+// use in deterministic packages, stays quiet in exempt packages, and
+// honors the allow directive.
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), nowalltime.Analyzer, "core", "rtnet")
+}
+
+// TestDeterministic pins the package classification rule.
+func TestDeterministic(t *testing.T) {
+	for path, want := range map[string]bool{
+		"fragdb":                        true,
+		"fragdb/internal/core":          true,
+		"fragdb/internal/broadcast":     true,
+		"fragdb/internal/chaoskit":      true,
+		"fragdb/internal/rtnet":         false,
+		"fragdb/internal/rtnet [tests]": false,
+		"fragdb/cmd/halint":             false,
+		"fragdb/examples/banking":       false,
+		"core":                          true,
+		"rtnet":                         false,
+	} {
+		if got := nowalltime.Deterministic(path); got != want {
+			t.Errorf("Deterministic(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package core
+
+import "time"
+
+// sanctioned shows the escape hatch: a justified allow directive on the
+// offending line (or the line above) suppresses the finding, so this
+// file carries no expectations.
+func sanctioned() {
+	//halint:allow nowalltime -- fixture: sanctioned wall-clock adapter
+	time.Sleep(time.Millisecond)
+	_ = time.Now() //halint:allow nowalltime -- fixture: trailing-comment form
+}

@@ -1,0 +1,31 @@
+// Package core is a nowalltime fixture standing in for a deterministic
+// engine package.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// bad exercises every banned clock and global-rand form.
+func bad() {
+	_ = time.Now()                  // want `wall-clock call time\.Now in deterministic package core`
+	time.Sleep(time.Millisecond)    // want `wall-clock call time\.Sleep`
+	<-time.After(time.Second)       // want `wall-clock call time\.After`
+	_ = time.Since(time.Time{})     // want `wall-clock call time\.Since`
+	t := time.NewTimer(time.Second) // want `wall-clock call time\.NewTimer`
+	_ = t
+	_ = rand.Intn(4)     // want `global math/rand use rand\.Intn`
+	_ = rand.Float64()   // want `global math/rand use rand\.Float64`
+	rand.Shuffle(0, nil) // want `global math/rand use rand\.Shuffle`
+}
+
+// good shows the sanctioned forms: duration arithmetic and seeded
+// generators.
+func good() time.Duration {
+	rng := rand.New(rand.NewSource(42))
+	_ = rng.Intn(4)
+	var r *rand.Rand
+	_ = r
+	return 50 * time.Millisecond
+}

@@ -1,0 +1,66 @@
+// Package trace is the traceexhaustive fixture: an iota enum with a
+// "keep last" sentinel, name tables keyed by it, and marked switches.
+package trace
+
+type Kind uint8
+
+const (
+	KNone Kind = iota
+	KSend
+	KDeliver
+	KDrop
+	kindCount // number of kinds; keep last
+)
+
+// complete covers every kind: quiet.
+var complete = [kindCount]string{
+	KNone:    "none",
+	KSend:    "send",
+	KDeliver: "deliver",
+	KDrop:    "drop",
+}
+
+var missing = [kindCount]string{ // want `table is missing an entry for KDrop`
+	KNone:    "none",
+	KSend:    "send",
+	KDeliver: "deliver",
+}
+
+var blank = [kindCount]string{
+	KNone:    "none",
+	KSend:    "", // want `maps KSend to the empty string`
+	KDeliver: "deliver",
+	KDrop:    "drop",
+}
+
+var positional = [kindCount]string{"none", "send"} // want `covers 2 of 4 Kind values`
+
+func name(k Kind) string {
+	//halint:exhaustive Kind
+	switch k { // want `has no case for KDrop`
+	case KNone:
+		return "none"
+	case KSend, KDeliver:
+		return "sd"
+	default:
+		return "?"
+	}
+}
+
+func covered(k Kind) bool {
+	//halint:exhaustive Kind
+	switch k {
+	case KNone, KSend, KDeliver, KDrop:
+		return true
+	}
+	return false
+}
+
+var (
+	_ = complete
+	_ = missing
+	_ = blank
+	_ = positional
+	_ = name
+	_ = covered
+)

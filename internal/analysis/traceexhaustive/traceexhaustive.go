@@ -1,0 +1,247 @@
+// Package traceexhaustive keeps enum-keyed tables and switches in sync
+// with their enum. The motivating case is internal/trace: Kind
+// constants end with a `kindCount` sentinel, and the name table is
+// `[kindCount]string{...}` — adding a Kind without a name silently
+// renders as "" in every trace dump and metrics line, which is exactly
+// the failure PR 3's flight recorder exists to prevent.
+//
+// Two checks, both purely syntactic and package-local:
+//
+//   - Any composite literal of array type [S]T, where S is the final
+//     constant of an iota block (the "keep last" sentinel), must key
+//     every other constant of that block; when T is string, keyed
+//     empty-string values are flagged too.
+//   - A switch marked `//halint:exhaustive <TypeName>` must have a case
+//     for every constant of that type declared in the package
+//     (sentinels — names ending in "count" — excluded; a default
+//     clause does not count as coverage).
+package traceexhaustive
+
+import (
+	"go/ast"
+	"strings"
+
+	"fragdb/internal/analysis"
+)
+
+// Analyzer is the traceexhaustive checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "traceexhaustive",
+	Doc:  "enum-keyed tables and marked switches must cover every enum constant",
+	Run:  run,
+}
+
+// enumBlock is one iota const block with an explicit type on its first
+// spec.
+type enumBlock struct {
+	typeName string
+	names    []string // declaration order, underscores skipped
+}
+
+// sentinel is the block's final constant, used as array length.
+func (b *enumBlock) sentinel() string {
+	if len(b.names) == 0 {
+		return ""
+	}
+	return b.names[len(b.names)-1]
+}
+
+// isSentinelName marks count-style sentinels excluded from switch
+// coverage.
+func isSentinelName(name string) bool {
+	return strings.HasSuffix(strings.ToLower(name), "count")
+}
+
+func run(pass *analysis.Pass) error {
+	blocks := collectEnums(pass.Pkg.Files)
+	bySentinel := map[string]*enumBlock{}
+	byType := map[string][]*enumBlock{}
+	for _, b := range blocks {
+		if s := b.sentinel(); s != "" {
+			bySentinel[s] = b
+		}
+		byType[b.typeName] = append(byType[b.typeName], b)
+	}
+
+	for _, f := range pass.Pkg.Files {
+		f := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkArray(pass, bySentinel, n)
+			case *ast.SwitchStmt:
+				line := pass.Fset().Position(n.Pos()).Line
+				if typeName := pass.Pkg.ExhaustiveTypeAt(pass.Fset(), f, line); typeName != "" {
+					checkSwitch(pass, byType, n, typeName)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectEnums finds iota const blocks whose first spec names an
+// explicit type.
+func collectEnums(files []*ast.File) []*enumBlock {
+	var blocks []*enumBlock
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok.String() != "const" || len(gd.Specs) == 0 {
+				continue
+			}
+			first, ok := gd.Specs[0].(*ast.ValueSpec)
+			if !ok || first.Type == nil || !usesIota(first) {
+				continue
+			}
+			typeIdent, ok := first.Type.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			b := &enumBlock{typeName: typeIdent.Name}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				// A later spec with its own different type ends the enum.
+				if vs.Type != nil {
+					if id, ok := vs.Type.(*ast.Ident); !ok || id.Name != b.typeName {
+						break
+					}
+				}
+				for _, name := range vs.Names {
+					if name.Name != "_" {
+						b.names = append(b.names, name.Name)
+					}
+				}
+			}
+			if len(b.names) > 1 {
+				blocks = append(blocks, b)
+			}
+		}
+	}
+	return blocks
+}
+
+// usesIota reports whether the spec's values mention iota.
+func usesIota(vs *ast.ValueSpec) bool {
+	found := false
+	for _, v := range vs.Values {
+		ast.Inspect(v, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == "iota" {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// checkArray verifies a [sentinel]T literal keys every enum constant.
+func checkArray(pass *analysis.Pass, bySentinel map[string]*enumBlock, lit *ast.CompositeLit) {
+	at, ok := lit.Type.(*ast.ArrayType)
+	if !ok {
+		return
+	}
+	lenIdent, ok := at.Len.(*ast.Ident)
+	if !ok {
+		return
+	}
+	block, ok := bySentinel[lenIdent.Name]
+	if !ok {
+		return
+	}
+	isString := false
+	if elem, ok := at.Elt.(*ast.Ident); ok && elem.Name == "string" {
+		isString = true
+	}
+
+	covered := map[string]bool{}
+	keyed := true
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			keyed = false
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		covered[key.Name] = true
+		if isString {
+			if bl, ok := kv.Value.(*ast.BasicLit); ok && bl.Value == `""` {
+				pass.Reportf(kv.Pos(),
+					"[%s]string table maps %s to the empty string: give every %s a name",
+					lenIdent.Name, key.Name, block.typeName)
+			}
+		}
+	}
+	if !keyed {
+		// Positional table: the compiler only checks bounds, not
+		// completeness.
+		if len(lit.Elts) < len(block.names)-1 {
+			pass.Reportf(lit.Pos(),
+				"[%s]%s table covers %d of %d %s values: use keyed entries so the gap is visible",
+				lenIdent.Name, exprString(at.Elt), len(lit.Elts), len(block.names)-1, block.typeName)
+		}
+		return
+	}
+	for _, name := range block.names {
+		if name == block.sentinel() || covered[name] {
+			continue
+		}
+		pass.Reportf(lit.Pos(),
+			"[%s]%s table is missing an entry for %s: every %s needs one (sentinel %s stays last)",
+			lenIdent.Name, exprString(at.Elt), name, block.typeName, block.sentinel())
+	}
+}
+
+// checkSwitch verifies a directive-marked switch cases every constant
+// of the named type.
+func checkSwitch(pass *analysis.Pass, byType map[string][]*enumBlock, sw *ast.SwitchStmt, typeName string) {
+	blocks := byType[typeName]
+	if len(blocks) == 0 {
+		pass.Reportf(sw.Pos(),
+			"//halint:exhaustive %s: no iota const block of that type in this package", typeName)
+		return
+	}
+	covered := map[string]bool{}
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			switch e := e.(type) {
+			case *ast.Ident:
+				covered[e.Name] = true
+			case *ast.SelectorExpr:
+				covered[e.Sel.Name] = true
+			}
+		}
+	}
+	for _, b := range blocks {
+		for _, name := range b.names {
+			if isSentinelName(name) || covered[name] {
+				continue
+			}
+			pass.Reportf(sw.Pos(),
+				"switch marked exhaustive over %s has no case for %s (default does not count)",
+				typeName, name)
+		}
+	}
+}
+
+// exprString renders simple type expressions for messages.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	}
+	return "T"
+}

@@ -1,0 +1,15 @@
+package traceexhaustive_test
+
+import (
+	"testing"
+
+	"fragdb/internal/analysis/analysistest"
+	"fragdb/internal/analysis/traceexhaustive"
+)
+
+// TestFixtures proves the analyzer flags missing keys, empty-string
+// names, short positional tables, and uncovered switch cases, while
+// complete tables and switches stay quiet.
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), traceexhaustive.Analyzer, "trace")
+}

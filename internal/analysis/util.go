@@ -1,0 +1,34 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// ImportNames maps a file's local import names to import paths,
+// resolving explicit renames and defaulting to the last path segment.
+// Dot and blank imports are omitted.
+func ImportNames(f *ast.File) map[string]string {
+	m := make(map[string]string, len(f.Imports))
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := path[strings.LastIndex(path, "/")+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name != "." && name != "_" {
+			m[name] = path
+		}
+	}
+	return m
+}
+
+// LastSegment returns the final slash-separated segment of an import
+// path ("fragdb/internal/wire" -> "wire").
+func LastSegment(path string) string {
+	return path[strings.LastIndex(path, "/")+1:]
+}

@@ -1,0 +1,49 @@
+// Package app is the wireencodable check-site fixture: payloads flow
+// into Broadcaster.Send, wire.Encode, and the payload-carrying
+// composite-literal fields.
+package app
+
+import (
+	"encoding/gob"
+
+	"broadcast"
+	"txn"
+	"wire"
+)
+
+// entry is concrete, unregistered, and unhandled: every use below is a
+// finding.
+type entry struct{ Key string }
+
+// registered is sanctioned by a local gob.Register call.
+type registered struct{ N int64 }
+
+func init() { gob.Register(registered{}) }
+
+// blessed is simulation-internal by design.
+//
+//halint:allow wireencodable -- fixture: in-memory only, never serialized
+type blessed struct{ X int }
+
+func send(b *broadcast.Broadcaster, q txn.Quasi, dyn any) {
+	b.Send(q)            // fast-codec case type: quiet
+	b.Send("plain")      // basic: quiet
+	b.Send(int64(7))     // basic: quiet
+	b.Send(dyn)          // interface: statically unknowable, quiet
+	b.Send(blessed{})    // type-decl allow: quiet
+	b.Send(registered{}) // gob-registered here: quiet
+	b.Send(entry{})      // want `Broadcaster\.Send payload of type app\.entry`
+	b.Send(&q)           // want `Broadcaster\.Send payload is a pointer`
+}
+
+func encode(q txn.Quasi) {
+	_, _ = wire.Encode(q)
+	_, _ = wire.Encode(entry{}) // want `wire\.Encode payload of type app\.entry`
+}
+
+func build() broadcast.Data {
+	_ = broadcast.DataBatch{Payloads: []any{txn.Quasi{}, "x", entry{}}} // want `DataBatch\.Payloads element of type app\.entry`
+	_ = txn.WriteOp{Object: "o", Value: entry{}}                        // want `WriteOp\.Value of type app\.entry`
+	_ = txn.WriteOp{Object: "o", Value: int64(1)}
+	return broadcast.Data{Payload: entry{}} // want `Data\.Payload of type app\.entry`
+}

@@ -1,0 +1,30 @@
+// Package broadcast is a wireencodable fixture mirroring the real
+// broadcaster surface.
+package broadcast
+
+type Data struct {
+	Origin  uint64
+	Seq     uint64
+	Payload any
+}
+
+type DataBatch struct {
+	Origin   uint64
+	Start    uint64
+	Payloads []any
+}
+
+type Digest struct{ Heads map[uint64]uint64 }
+
+type SnapshotOffer struct {
+	Have  map[uint64]uint64
+	State []byte
+}
+
+type Broadcaster struct{ seq uint64 }
+
+func (b *Broadcaster) Send(payload any) uint64 {
+	_ = payload
+	b.seq++
+	return b.seq
+}

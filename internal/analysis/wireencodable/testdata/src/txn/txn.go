@@ -1,0 +1,10 @@
+// Package txn is a wireencodable fixture mirroring the real txn
+// message shapes.
+package txn
+
+type Quasi struct{ Fragment string }
+
+type WriteOp struct {
+	Object string
+	Value  any
+}

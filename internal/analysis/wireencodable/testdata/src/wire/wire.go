@@ -1,0 +1,45 @@
+// Package wire is a wireencodable fixture: the analyzer derives the
+// encodable set from these type switches and gob.Register calls, just
+// as it does from the real internal/wire.
+package wire
+
+import (
+	"encoding/gob"
+
+	"broadcast"
+	"txn"
+)
+
+func RegisterDefaults() {
+	gob.Register(txn.Quasi{})
+	gob.Register(txn.WriteOp{})
+	gob.Register(broadcast.Data{})
+	gob.Register(broadcast.DataBatch{})
+	gob.Register(broadcast.Digest{})
+	gob.Register(broadcast.SnapshotOffer{})
+	gob.Register(int64(0))
+	gob.Register("")
+	gob.Register(true)
+}
+
+func Encode(payload any) ([]byte, error) {
+	switch payload.(type) {
+	case txn.Quasi:
+	case broadcast.Data:
+	case broadcast.DataBatch:
+	case broadcast.Digest:
+	}
+	return nil, nil
+}
+
+func valueFast(v any) bool {
+	switch v.(type) {
+	case nil, bool, int, int64, uint64, string:
+		return true
+	case txn.Quasi:
+		return true
+	}
+	return false
+}
+
+var _ = valueFast

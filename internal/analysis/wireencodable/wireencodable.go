@@ -1,0 +1,283 @@
+// Package wireencodable checks that every concrete type flowing into
+// the broadcast wire path is actually encodable: handled by the fast
+// codec's type switches in internal/wire, or gob-registered, or
+// explicitly sanctioned at its type declaration. PR 4's fast codec
+// made this a real invariant — an unregistered payload silently falls
+// back to gob and then fails at Decode on the far side, at which point
+// the broadcaster retries forever.
+//
+// The encodable set is computed from the program itself, so the
+// analyzer never goes stale:
+//
+//   - the case types of the Encode and valueFast type switches in any
+//     package named "wire", and
+//   - the arguments of every gob.Register call in non-test sources.
+//
+// Checked sites:
+//
+//   - the argument of a one-argument Send call whose receiver is a
+//     broadcast.Broadcaster (pointer or value),
+//   - the argument of wire.Encode,
+//   - values assigned to the payload-carrying composite-literal fields
+//     Data.Payload, DataBatch.Payloads (literal elements), and
+//     WriteOp.Value.
+//
+// Interface-typed expressions are skipped (the dynamic type is not
+// statically known); basic types are always fine (gob pre-registers
+// them and the fast codec covers the common ones). A type that is
+// deliberately simulation-internal — never serialized because the
+// in-memory netsim passes it by value — is sanctioned with
+// `//halint:allow wireencodable -- <why>` on its type declaration.
+package wireencodable
+
+import (
+	"go/ast"
+	"go/types"
+	"sync"
+
+	"fragdb/internal/analysis"
+)
+
+// Analyzer is the wireencodable checker.
+var Analyzer = &analysis.Analyzer{
+	Name:       "wireencodable",
+	Doc:        "broadcast/wire payloads must be fast-codec-handled or gob-registered",
+	NeedsTypes: true,
+	Run:        run,
+}
+
+var (
+	setMu   sync.Mutex
+	setMemo = map[*analysis.Program]map[string]bool{}
+)
+
+// encodableSet computes (once per program) the set of type strings the
+// wire layer can encode.
+func encodableSet(prog *analysis.Program) map[string]bool {
+	setMu.Lock()
+	defer setMu.Unlock()
+	if set, ok := setMemo[prog]; ok {
+		return set
+	}
+	set := map[string]bool{}
+	for _, pkg := range prog.Pkgs {
+		if !pkg.Typed() {
+			continue
+		}
+		isWire := analysis.LastSegment(pkg.BasePath()) == "wire"
+		for _, f := range pkg.Files {
+			imports := analysis.ImportNames(f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if isWire && (n.Name.Name == "Encode" || n.Name.Name == "valueFast") {
+						collectSwitchTypes(pkg, n, set)
+					}
+					return false // registrations live in init/func bodies; re-walk below
+				}
+				return true
+			})
+			// gob.Register arguments, wherever they appear.
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Register" {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok || imports[id.Name] != "encoding/gob" {
+					return true
+				}
+				if t := exprType(pkg, call.Args[0]); t != nil {
+					set[typeKey(t)] = true
+				}
+				return true
+			})
+		}
+	}
+	setMemo[prog] = set
+	return set
+}
+
+// collectSwitchTypes adds the case types of every type switch in fn.
+func collectSwitchTypes(pkg *analysis.Package, fn *ast.FuncDecl, set map[string]bool) {
+	ast.Inspect(fn, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSwitchStmt)
+		if !ok {
+			return true
+		}
+		for _, c := range ts.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, e := range cc.List {
+				if t := exprType(pkg, e); t != nil {
+					set[typeKey(t)] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// exprType resolves an expression's type from the package's own Info
+// (valid types only).
+func exprType(pkg *analysis.Package, e ast.Expr) types.Type {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.Invalid {
+		return nil
+	}
+	return tv.Type
+}
+
+// typeKey normalizes a type to its lookup string (defaulting untyped
+// constants so `gob.Register("")` sanctions string).
+func typeKey(t types.Type) string {
+	return types.TypeString(types.Default(t), nil)
+}
+
+func run(pass *analysis.Pass) error {
+	set := encodableSet(pass.Prog)
+	for _, f := range pass.Pkg.Files {
+		imports := analysis.ImportNames(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, set, imports, n)
+			case *ast.CompositeLit:
+				checkLit(pass, set, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall inspects Broadcaster.Send and wire.Encode arguments.
+func checkCall(pass *analysis.Pass, set map[string]bool, imports map[string]string, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 1 {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Send":
+		if recvIsBroadcaster(pass, sel.X) {
+			checkPayload(pass, set, call.Args[0], "Broadcaster.Send payload")
+		}
+	case "Encode":
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if path, imported := imports[id.Name]; imported && analysis.LastSegment(path) == "wire" {
+				checkPayload(pass, set, call.Args[0], "wire.Encode payload")
+			}
+		}
+	}
+}
+
+// recvIsBroadcaster reports whether the expression is a (pointer to a)
+// Broadcaster from a package named broadcast.
+func recvIsBroadcaster(pass *analysis.Pass, recv ast.Expr) bool {
+	t := pass.TypeOf(recv)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Broadcaster" && obj.Pkg() != nil &&
+		analysis.LastSegment(obj.Pkg().Path()) == "broadcast"
+}
+
+// payloadFields maps checked composite-literal types to the field that
+// carries an encodable payload. DataBatch.Payloads holds a slice whose
+// literal elements are each checked. SnapshotOffer.State is
+// deliberately absent: it is an opaque []byte the application layer
+// owns.
+var payloadFields = map[string]string{
+	"Data":      "Payload",
+	"DataBatch": "Payloads",
+	"WriteOp":   "Value",
+}
+
+// checkLit inspects payload-carrying fields of wire message literals.
+func checkLit(pass *analysis.Pass, set map[string]bool, lit *ast.CompositeLit) {
+	t := pass.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	field, checked := payloadFields[named.Obj().Name()]
+	if !checked {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != field {
+			continue
+		}
+		if field == "Payloads" {
+			if inner, ok := kv.Value.(*ast.CompositeLit); ok {
+				for _, e := range inner.Elts {
+					checkPayload(pass, set, e, named.Obj().Name()+".Payloads element")
+				}
+			}
+			continue
+		}
+		checkPayload(pass, set, kv.Value, named.Obj().Name()+"."+field)
+	}
+}
+
+// checkPayload reports expr when its static type is a concrete named
+// (or pointer) type the wire layer cannot encode.
+func checkPayload(pass *analysis.Pass, set map[string]bool, expr ast.Expr, site string) {
+	t := pass.TypeOf(expr)
+	if t == nil {
+		return
+	}
+	t = types.Default(t)
+	switch tt := t.(type) {
+	case *types.Basic, *types.Interface, *types.TypeParam:
+		return
+	case *types.Named:
+		if _, isIface := tt.Underlying().(*types.Interface); isIface {
+			return
+		}
+		if set[typeKey(t)] {
+			return
+		}
+		if pass.Prog.AllowedAt(tt.Obj().Pos(), "wireencodable") {
+			return
+		}
+		pass.Reportf(expr.Pos(),
+			"%s of type %s is neither fast-codec-handled nor gob-registered: add it to internal/wire RegisterDefaults (or gob.Register it where it is defined), or mark its type declaration //halint:allow wireencodable -- <why>",
+			site, typeKey(t))
+	case *types.Pointer:
+		if set[typeKey(t)] {
+			return
+		}
+		pass.Reportf(expr.Pos(),
+			"%s is a pointer (%s): wire payloads travel by value; dereference it or gob.Register the pointer type",
+			site, typeKey(t))
+	}
+}

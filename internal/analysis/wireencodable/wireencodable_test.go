@@ -1,0 +1,17 @@
+package wireencodable_test
+
+import (
+	"testing"
+
+	"fragdb/internal/analysis/analysistest"
+	"fragdb/internal/analysis/wireencodable"
+)
+
+// TestFixtures proves the analyzer derives the encodable set from the
+// fixture wire package's type switches and gob.Register calls, flags
+// unregistered payloads at every checked site, and honors both the
+// type-declaration allow directive and local registrations.
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), wireencodable.Analyzer,
+		"app", "broadcast", "txn", "wire")
+}

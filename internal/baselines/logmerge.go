@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"encoding/gob"
 	"sort"
 
 	"fragdb/internal/broadcast"
@@ -8,6 +9,10 @@ import (
 	"fragdb/internal/netsim"
 	"fragdb/internal/simtime"
 )
+
+// Entries ride the shared broadcaster like any other payload, so the
+// wire layer must be able to encode them (halint: wireencodable).
+func init() { gob.Register(Entry{}) }
 
 // Entry is one log record of the log-transformation baseline: a banking
 // operation executed somewhere in the system. (Node, Seq) identifies it

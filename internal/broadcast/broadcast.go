@@ -540,7 +540,9 @@ func (b *Broadcaster) appendEntry(origin netsim.NodeID, payload any) {
 // drainer; mu is released around each callback, so handlers may
 // re-enter Send — their payloads enqueue and are delivered when the
 // outer handler returns, preserving per-origin FIFO. Caller holds mu;
-// mu is held again on return.
+// mu is held again on return. The unlock-around-callback discipline is
+// what keeps the PR 2 re-entrancy deadlock fixed; halint's lockedsend
+// analyzer checks this function under entry-held mu.
 func (b *Broadcaster) drainDeliveries() {
 	if b.delivering {
 		return

@@ -25,6 +25,7 @@ type WallTimer struct{}
 
 // AfterFunc schedules fn after d real nanoseconds.
 func (WallTimer) AfterFunc(d int64, fn func()) (cancel func()) {
+	//halint:allow nowalltime -- WallTimer is the one sanctioned wall-clock adapter; rtnet-backed runs opt into it explicitly, simulations use SchedulerTimer
 	tm := time.AfterFunc(time.Duration(d), fn)
 	return func() { tm.Stop() }
 }

@@ -19,6 +19,8 @@ type (
 	// m0Msg is the special message of Section 4.4.3 announcing an
 	// unprepared agent move: the new home node's identity, the new
 	// epoch, and the old-epoch prefix it had installed at move time.
+	//
+	//halint:allow wireencodable -- simulation-internal: rides the in-memory netsim by value, never serialized; wire.Size scores it 0 by design
 	m0Msg struct {
 		Fragment fragments.FragmentID
 		NewEpoch uint64
@@ -72,6 +74,8 @@ type (
 
 	// prepareMsg is phase one of the Section 4.4.1 majority commit: the
 	// quasi-transaction is buffered, not applied, and acknowledged.
+	//
+	//halint:allow wireencodable -- simulation-internal: rides the in-memory netsim by value, never serialized; wire.Size scores it 0 by design
 	prepareMsg struct {
 		Q txn.Quasi
 	}
@@ -83,6 +87,8 @@ type (
 	}
 
 	// commitCmdMsg is phase two: apply the buffered quasi-transaction.
+	//
+	//halint:allow wireencodable -- simulation-internal: rides the in-memory netsim by value, never serialized; wire.Size scores it 0 by design
 	commitCmdMsg struct {
 		Txn      txn.ID
 		Fragment fragments.FragmentID
@@ -90,6 +96,8 @@ type (
 
 	// abortCmdMsg cancels a prepared quasi-transaction that failed to
 	// assemble a majority.
+	//
+	//halint:allow wireencodable -- simulation-internal: rides the in-memory netsim by value, never serialized; wire.Size scores it 0 by design
 	abortCmdMsg struct {
 		Txn      txn.ID
 		Fragment fragments.FragmentID

@@ -75,6 +75,8 @@ func (nw *Network) Send(from, to netsim.NodeID, payload any) {
 		// that proved closed==false: the Add then happens-before Close's
 		// exclusive Lock, so Close's Wait cannot have started yet
 		// (Add-after-Wait is a WaitGroup misuse and raced under -race).
+		// Add never blocks, so holding RLock here is lockedsend-clean;
+		// do not move the Add after the RUnlock.
 		nw.inflight.Add(1)
 	}
 	nw.mu.RUnlock()
@@ -180,6 +182,9 @@ func (nw *Network) Reachable(a, b netsim.NodeID) bool {
 func (nw *Network) Close() {
 	nw.mu.Lock()
 	nw.closed = true
+	// Unlock before Wait: blocking on the WaitGroup while holding mu
+	// would deadlock against delivery callbacks taking RLock, and is the
+	// exact shape halint's lockedsend analyzer exists to flag.
 	nw.mu.Unlock()
 	nw.inflight.Wait()
 }
