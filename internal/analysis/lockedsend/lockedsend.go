@@ -361,8 +361,9 @@ func (w *walker) reportHeld(pos token.Pos, held lockState, what string) {
 	}
 }
 
-// render prints a simple receiver expression (idents and field
-// selections only); anything more dynamic is not tracked.
+// render prints a simple receiver expression (idents, field
+// selections, and simple index selections — the sharded manager's
+// m.shards[i].mu shape); anything more dynamic is not tracked.
 func render(e ast.Expr) (string, bool) {
 	switch e := e.(type) {
 	case *ast.Ident:
@@ -373,6 +374,18 @@ func render(e ast.Expr) (string, bool) {
 			return "", false
 		}
 		return base + "." + e.Sel.Name, true
+	case *ast.IndexExpr:
+		base, ok := render(e.X)
+		if !ok {
+			return "", false
+		}
+		idx, ok := render(e.Index)
+		if !ok {
+			return "", false
+		}
+		return base + "[" + idx + "]", true
+	case *ast.BasicLit:
+		return e.Value, true
 	case *ast.ParenExpr:
 		return render(e.X)
 	}

@@ -120,3 +120,38 @@ func (g *guard) read() {
 	g.mu.RUnlock()
 	<-g.ch // released: quiet
 }
+
+// sharded mirrors the sharded lock manager: mutexes selected by index.
+type sharded struct {
+	shards []struct{ mu sync.Mutex }
+	ch     chan int
+}
+
+// shardBlocked blocks while holding one shard's mutex.
+func (m *sharded) shardBlocked(i int) {
+	m.shards[i].mu.Lock()
+	m.ch <- 1 // want `channel send while holding m\.shards\[i\]\.mu`
+	m.shards[i].mu.Unlock()
+	m.ch <- 2 // released: quiet
+}
+
+// shardPair blocks holding two shard mutexes at once (the multi-shard
+// slow path misused). Loop bodies are walked conservatively — their
+// acquisitions do not leak past the loop — so the multi-shard shape is
+// straight-line here, and the receive reports once per held shard.
+func (m *sharded) shardPair() {
+	m.shards[0].mu.Lock()
+	m.shards[1].mu.Lock()
+	<-m.ch // want `channel receive while holding m\.shards\[0\]\.mu` `channel receive while holding m\.shards\[1\]\.mu`
+	m.shards[1].mu.Unlock()
+	m.shards[0].mu.Unlock()
+	<-m.ch // released: quiet
+}
+
+// shardHandoff releases the shard before blocking: quiet.
+func (m *sharded) shardHandoff(i int) {
+	m.shards[i].mu.Lock()
+	v := 1
+	m.shards[i].mu.Unlock()
+	m.ch <- v
+}

@@ -8,6 +8,7 @@ import (
 	"fragdb/internal/analysis"
 	"fragdb/internal/analysis/lockedsend"
 	"fragdb/internal/analysis/nowalltime"
+	"fragdb/internal/analysis/shardorder"
 	"fragdb/internal/analysis/traceexhaustive"
 	"fragdb/internal/analysis/wireencodable"
 )
@@ -17,6 +18,7 @@ func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		nowalltime.Analyzer,
 		lockedsend.Analyzer,
+		shardorder.Analyzer,
 		wireencodable.Analyzer,
 		traceexhaustive.Analyzer,
 	}

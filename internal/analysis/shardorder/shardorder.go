@@ -1,0 +1,307 @@
+// Package shardorder enforces the sharded lock manager's deadlock-
+// freedom discipline: mutexes selected by index — shard mutexes, lock
+// stripes — must be acquired in ascending index order. The sharded
+// manager's analyzability argument (DESIGN.md, "Shard ordering
+// protocol") rests on every multi-shard path locking shards [0..k) in
+// index order; one loop acquiring them through a permutation, or
+// walking the array backwards, reintroduces exactly the cyclic-wait
+// risk the protocol eliminates.
+//
+// The analysis is syntactic and intraprocedural, tuned to this repo's
+// conventions. A call X[idx].mu.Lock() (or X[idx].Lock(),
+// X[idx].mu.RLock()) inside a loop is checked against every enclosing
+// loop whose variable appears in idx:
+//
+//   - `for i := a; i < b; i++` with idx exactly the counter is the
+//     canonical ascending form (lockAll, lockAllStripes) and passes.
+//   - A descending loop (i--) is flagged.
+//   - An index derived from the counter (perm[i], n-1-i, i*2) is
+//     flagged: the acquisition order is the derivation's, not the
+//     array's.
+//   - `for i := range xs { xs[i].mu.Lock() }` passes when the ranged
+//     expression is the indexed array (slice/array ranges ascend); a
+//     range VALUE used as the index (`for _, j := range order`) is a
+//     permutation walk and is flagged.
+//
+// Single acquisitions outside loops are not ordering decisions and are
+// ignored. False positives (e.g. an order proven ascending by
+// construction) carry `//halint:allow shardorder -- <why>`.
+package shardorder
+
+import (
+	"go/ast"
+	"go/token"
+
+	"fragdb/internal/analysis"
+)
+
+// Analyzer is the shardorder checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "shardorder",
+	Doc:  "require indexed (shard/stripe) mutexes to be acquired in ascending index order",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				w := &walker{pass: pass}
+				w.stmts(fd.Body.List)
+			}
+		}
+	}
+	return nil
+}
+
+// loopCtx describes one enclosing loop's ordering guarantee for the
+// variables it binds.
+type loopCtx struct {
+	// vars maps a bound variable name to its ordering class:
+	// "asc" (safe as a direct index), "desc", "rangeval".
+	vars map[string]string
+	// ranged is the rendered expression a range loop iterates, for the
+	// xs[i]-inside-range-xs check ("" for for-loops).
+	ranged string
+}
+
+type walker struct {
+	pass  *analysis.Pass
+	loops []loopCtx
+}
+
+func (w *walker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		w.loops = append(w.loops, forCtx(s))
+		w.stmts(s.Body.List)
+		w.loops = w.loops[:len(w.loops)-1]
+	case *ast.RangeStmt:
+		w.loops = append(w.loops, rangeCtx(s))
+		w.stmts(s.Body.List)
+		w.loops = w.loops[:len(w.loops)-1]
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.IfStmt:
+		w.stmts(s.Body.List)
+		if s.Else != nil {
+			w.stmt(s.Else)
+		}
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e)
+		}
+	case *ast.GoStmt:
+		// A spawned body starts fresh: its loop context is its own.
+		w.funcLits(s.Call)
+	case *ast.DeferStmt:
+		w.funcLits(s.Call)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e)
+		}
+	}
+}
+
+// expr checks lock acquisitions in an expression; function literals are
+// analyzed as fresh functions (their bodies do not run under the
+// enclosing loop's iteration).
+func (w *walker) expr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			fresh := &walker{pass: w.pass}
+			fresh.stmts(n.Body.List)
+			return false
+		case *ast.CallExpr:
+			w.checkCall(n)
+		}
+		return true
+	})
+}
+
+func (w *walker) funcLits(call *ast.CallExpr) {
+	ast.Inspect(call, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			fresh := &walker{pass: w.pass}
+			fresh.stmts(fl.Body.List)
+			return false
+		}
+		return true
+	})
+}
+
+// checkCall flags X[idx].{mu.}Lock()/RLock() when an enclosing loop
+// drives idx in anything but ascending index order.
+func (w *walker) checkCall(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return
+	}
+	if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+		return
+	}
+	idxExpr, base := indexedReceiver(sel.X)
+	if idxExpr == nil {
+		return
+	}
+	idxStr, simple := render(idxExpr)
+	for li := len(w.loops) - 1; li >= 0; li-- {
+		lc := w.loops[li]
+		for v, class := range lc.vars {
+			if !usesVar(idxExpr, v) {
+				continue
+			}
+			switch class {
+			case "asc":
+				if simple && idxStr == v {
+					return // canonical ascending loop, direct index
+				}
+				w.pass.Reportf(call.Pos(),
+					"indexed mutex %s[%s] acquired with an index derived from loop counter %s: acquire shard mutexes in ascending index order (for %s := 0; %s < k; %s++ with a direct index), or justify with //halint:allow shardorder -- <why>",
+					base, idxStr, v, v, v, v)
+				return
+			case "desc":
+				w.pass.Reportf(call.Pos(),
+					"indexed mutex %s[%s] acquired in a descending loop over %s: acquire shard mutexes in ascending index order, or justify with //halint:allow shardorder -- <why>",
+					base, idxStr, v)
+				return
+			case "rangeval":
+				w.pass.Reportf(call.Pos(),
+					"indexed mutex %s[%s] acquired through range value %s (a permutation walk): acquire shard mutexes in ascending index order, or justify with //halint:allow shardorder -- <why>",
+					base, idxStr, v)
+				return
+			case "rangekey":
+				if simple && idxStr == v && lc.ranged == base {
+					return // for i := range xs { xs[i]... }: ascending
+				}
+				w.pass.Reportf(call.Pos(),
+					"indexed mutex %s[%s] acquired under range key %s of a different collection: acquire shard mutexes in ascending index order over the shard array itself, or justify with //halint:allow shardorder -- <why>",
+					base, idxStr, v)
+				return
+			}
+		}
+	}
+}
+
+// indexedReceiver unwraps a Lock receiver down to the index expression
+// that selects the mutex: m.shards[i].mu -> (i, "m.shards"),
+// stripes[j] -> (j, "stripes"). Returns nil when the receiver is not
+// index-selected.
+func indexedReceiver(e ast.Expr) (idx ast.Expr, base string) {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			b, ok := render(x.X)
+			if !ok {
+				b = "?"
+			}
+			return x.Index, b
+		default:
+			return nil, ""
+		}
+	}
+}
+
+// forCtx classifies a for-loop's counter: ascending (i++ with i < / <=
+// bound), descending (i--), or unknown (treated as derived, i.e.
+// flagged when used).
+func forCtx(s *ast.ForStmt) loopCtx {
+	lc := loopCtx{vars: map[string]string{}}
+	post, ok := s.Post.(*ast.IncDecStmt)
+	if !ok {
+		return lc
+	}
+	v, ok := post.X.(*ast.Ident)
+	if !ok {
+		return lc
+	}
+	if post.Tok == token.DEC {
+		lc.vars[v.Name] = "desc"
+		return lc
+	}
+	lc.vars[v.Name] = "asc"
+	return lc
+}
+
+// rangeCtx classifies a range loop: the key variable ascends over the
+// ranged expression (for slices and arrays — the shard-array shapes
+// this analyzer exists for); the value variable is a permutation walk
+// when used as an index.
+func rangeCtx(s *ast.RangeStmt) loopCtx {
+	lc := loopCtx{vars: map[string]string{}}
+	if r, ok := render(s.X); ok {
+		lc.ranged = r
+	}
+	if id, ok := s.Key.(*ast.Ident); ok && id.Name != "_" {
+		lc.vars[id.Name] = "rangekey"
+	}
+	if s.Value != nil {
+		if id, ok := s.Value.(*ast.Ident); ok && id.Name != "_" {
+			lc.vars[id.Name] = "rangeval"
+		}
+	}
+	return lc
+}
+
+// usesVar reports whether the expression mentions the identifier.
+func usesVar(e ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// render prints a simple expression (idents and field selections);
+// anything more dynamic is not tracked.
+func render(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := render(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	case *ast.ParenExpr:
+		return render(e.X)
+	}
+	return "", false
+}

@@ -1,0 +1,16 @@
+package shardorder_test
+
+import (
+	"testing"
+
+	"fragdb/internal/analysis/analysistest"
+	"fragdb/internal/analysis/shardorder"
+)
+
+// TestFixtures proves the analyzer flags descending, permuted, and
+// derived index walks over mutex arrays, stays quiet on the canonical
+// ascending forms (lockAll, masked walks, range-with-key), treats
+// spawned bodies as fresh, and honors the allow directive.
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), shardorder.Analyzer, "a")
+}

@@ -1,0 +1,95 @@
+// Package a is the shardorder fixture: every way to walk an indexed
+// mutex array out of ascending order, plus the canonical shapes that
+// must stay quiet.
+package a
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+}
+
+type manager struct {
+	shards []shard
+}
+
+// lockAll is the canonical ascending form: quiet.
+func (m *manager) lockAll() {
+	for i := 0; i < len(m.shards); i++ {
+		m.shards[i].mu.Lock()
+	}
+}
+
+// lockMask guards each acquisition but keeps the ascending walk: quiet.
+func (m *manager) lockMask(mask uint64) {
+	for i := 0; i < len(m.shards); i++ {
+		if mask&(1<<uint(i)) != 0 {
+			m.shards[i].mu.Lock()
+		}
+	}
+}
+
+// lockRange ranges the shard array itself with the key as index: quiet.
+func (m *manager) lockRange() {
+	for i := range m.shards {
+		m.shards[i].mu.RLock()
+	}
+}
+
+// lockDesc walks the array backwards.
+func (m *manager) lockDesc() {
+	for i := len(m.shards) - 1; i >= 0; i-- {
+		m.shards[i].mu.Lock() // want `descending loop`
+	}
+}
+
+// lockPerm indexes through a permutation of the counter.
+func (m *manager) lockPerm(order []int) {
+	for i := 0; i < len(order); i++ {
+		m.shards[order[i]].mu.Lock() // want `index derived from loop counter i`
+	}
+}
+
+// lockDerived shifts the counter arithmetically.
+func (m *manager) lockDerived() {
+	for i := 0; i < len(m.shards); i++ {
+		m.shards[len(m.shards)-1-i].mu.Lock() // want `index derived from loop counter i`
+	}
+}
+
+// lockRangeVal walks a permutation via range values.
+func (m *manager) lockRangeVal(order []int) {
+	for _, j := range order {
+		m.shards[j].mu.Lock() // want `range value j \(a permutation walk\)`
+	}
+}
+
+// lockForeignKey uses another collection's range key as the index.
+func (m *manager) lockForeignKey(order []int) {
+	for k := range order {
+		m.shards[k].mu.Lock() // want `range key k of a different collection`
+	}
+}
+
+// single acquisitions outside loops are not ordering decisions: quiet.
+func (m *manager) lockOne(i int) {
+	m.shards[i].mu.Lock()
+}
+
+// spawned bodies do not run under the loop's iteration: quiet.
+func (m *manager) lockSpawned(order []int) {
+	for _, j := range order {
+		j := j
+		go func() {
+			m.shards[j].mu.Lock()
+		}()
+	}
+}
+
+// allowed carries the escape hatch: suppressed, so no want.
+func (m *manager) allowed(order []int) {
+	for _, j := range order {
+		//halint:allow shardorder -- order is sorted ascending by the caller
+		m.shards[j].mu.Lock()
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"fragdb/internal/core"
+	"fragdb/internal/lock"
 	"fragdb/internal/simtime"
 )
 
@@ -171,6 +172,10 @@ type Plan struct {
 	// DataBatch messages (sender-side flush timer on the simulated
 	// clock); the invariant ladder must hold unchanged with it on.
 	Batching bool
+	// ApplyShards > 1 enables the sharded apply path (per-fragment
+	// parallel quasi-transaction installation); the invariant ladder
+	// must hold unchanged with it on.
+	ApplyShards int
 	// LossProb is the per-message random loss probability.
 	LossProb float64
 	// Horizon is the active phase's virtual duration; the executor then
@@ -217,6 +222,9 @@ type Profile struct {
 	Compaction bool
 	// Batching runs every plan with broadcast push batching on.
 	Batching bool
+	// ApplyShards runs every plan with the sharded apply path at this
+	// shard count (0 or 1 keeps the serial path).
+	ApplyShards int
 	// Topology bounds.
 	MinN, MaxN, MinFrags, MaxFrags int
 	// Workload bounds.
@@ -298,8 +306,34 @@ func BatchingProfile() Profile {
 	}
 }
 
+// ParallelProfile returns the sharded-apply profile: the per-fragment
+// parallel apply path on at 8 shards, together with push batching
+// (DataBatch runs must coalesce into single acquisitions), compaction
+// (snapshot merges race in-flight runs, exercising install-time
+// revalidation), moving agents, partitions, crashes, and message loss.
+// Plans mix disjoint-fragment updates (overlapping appliers) with
+// overlapping-fragment and cross-shard-read transactions; a
+// deterministic early burst (see Generate) anchors the sweep's
+// per-seed vacuity guards. The invariant ladder audited is unchanged.
+//
+// Majority commit stays off: its ack round-trips decouple the
+// same-instant submissions the parallelism vacuity guard rests on
+// (the dedicated majority sweeps cover that axis).
+func ParallelProfile() Profile {
+	return Profile{
+		Name: "parallel", Option: core.UnrestrictedReads,
+		Moving: true, Compaction: true, Batching: true,
+		ApplyShards: 8,
+		MinN:        3, MaxN: 4, MinFrags: 8, MaxFrags: 8,
+		MinSteps: 40, MaxSteps: 80,
+		MaxFaults: 3, MaxMoves: 2,
+		LossChance: 0.3, MaxLoss: 0.15,
+	}
+}
+
 // ProfileByName resolves a profile by name ("readlocks", "acyclic",
-// "unrestricted", "moving", "bank", "compaction", "batching").
+// "unrestricted", "moving", "bank", "compaction", "batching",
+// "parallel").
 func ProfileByName(name string) (Profile, bool) {
 	for _, p := range Profiles() {
 		if p.Name == name {
@@ -314,6 +348,9 @@ func ProfileByName(name string) (Profile, bool) {
 	}
 	if bt := BatchingProfile(); bt.Name == name {
 		return bt, true
+	}
+	if pp := ParallelProfile(); pp.Name == name {
+		return pp, true
 	}
 	return Profile{}, false
 }
@@ -339,6 +376,7 @@ func Generate(seed int64, pr Profile) Plan {
 	// Copied, not drawn: existing profiles' plans stay byte-identical.
 	p.Compaction = pr.Compaction
 	p.Batching = pr.Batching
+	p.ApplyShards = pr.ApplyShards
 	if pr.Bank {
 		p.Option = core.UnrestrictedReads
 	}
@@ -410,6 +448,32 @@ func Generate(seed int64, pr Profile) Plan {
 			}
 		}
 		p.Steps = append(p.Steps, st)
+	}
+
+	// Sharded-apply plans get a deterministic early burst, drawn from no
+	// RNG stream: one update per fragment at 50ms (same-instant commits
+	// at every home, so replicas see overlapping disjoint-fragment
+	// applies) plus one update at 60ms reading a fragment on a different
+	// apply shard. Both land before the earliest fault window (100ms),
+	// so the sweep's per-seed vacuity guards — two appliers overlapped,
+	// at least one cross-shard transaction — hold on every seed, not
+	// just in aggregate.
+	if p.ApplyShards > 1 && !pr.Bank {
+		for i := 0; i < p.Frags; i++ {
+			p.Steps = append(p.Steps, Step{
+				At: 50 * time.Millisecond, Frag: i, Kind: StepUpdate,
+			})
+		}
+		s0 := lock.HashShard(string(fragID(0)), p.ApplyShards)
+		for j := 1; j < p.Frags; j++ {
+			if lock.HashShard(string(fragID(j)), p.ApplyShards) != s0 {
+				p.Steps = append(p.Steps, Step{
+					At: 60 * time.Millisecond, Frag: 0, Kind: StepUpdate,
+					Reads: []int{j},
+				})
+				break
+			}
+		}
 	}
 
 	// Moves: spaced episodes so two protocols never overlap on the same
@@ -565,6 +629,9 @@ func (p Plan) GoLiteral() string {
 	}
 	if p.Batching {
 		fmt.Fprintf(&b, "\tBatching: true,\n")
+	}
+	if p.ApplyShards > 0 {
+		fmt.Fprintf(&b, "\tApplyShards: %d,\n", p.ApplyShards)
 	}
 	if p.LossProb > 0 {
 		fmt.Fprintf(&b, "\tLossProb: %g,\n", p.LossProb)

@@ -162,6 +162,18 @@ type Config struct {
 	// Zero disables tracing entirely: no events are constructed and the
 	// hot paths pay only a nil check.
 	TraceCap int
+	// ApplyShards, when > 1, shards each node's apply path and lock
+	// manager by fragment: incoming quasi-transactions install
+	// concurrently across that many fragment-hashed shards, one
+	// combined lock acquisition per contiguous run per fragment, with
+	// the per-fragment total order preserved (see internal/core/shard.go
+	// for the determinism contract). 0 or 1 keeps the serial path.
+	ApplyShards int
+	// ApplyLatency is the virtual time an apply shard spends installing
+	// one run of quasi-transactions — the window during which runs on
+	// other shards overlap. Default 500µs when ApplyShards > 1; ignored
+	// on the serial path.
+	ApplyLatency simtime.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -179,6 +191,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MultiLease == 0 {
 		c.MultiLease = 60 * time.Second
+	}
+	if c.ApplyShards > 1 && c.ApplyLatency == 0 {
+		c.ApplyLatency = 500 * time.Microsecond
 	}
 }
 

@@ -425,6 +425,9 @@ func (n *Node) finalize(t *activeTxn, err error, committed bool) {
 	if committed {
 		n.cl.stats.Committed.Add(1)
 		n.cl.stats.CommitLatency.Observe(now.Sub(t.start))
+		if n.cl.cfg.ApplyShards > 1 && n.txnSpansShards(t) {
+			n.cl.stats.CrossShardTxns.Add(1)
+		}
 		if n.tr.Enabled() {
 			n.tr.Emit(trace.Event{Kind: trace.KCommit, Txn: t.id,
 				Frag: t.spec.Fragment, Dur: now.Sub(t.start), Note: t.spec.Label})
@@ -508,6 +511,15 @@ type quasiWaiter struct {
 	// ordered is false for commutative fragments, whose installation
 	// neither blocks nor advances the strict stream sequence.
 	ordered bool
+
+	// Sharded-apply run state (nil/zero on the serial path): the
+	// contiguous run this waiter installs as a group under q.Txn's
+	// locks, its shard, whether the shard slot is held through the
+	// installation, and whether installation is already scheduled.
+	run       []txn.Quasi
+	shardIdx  int
+	slotHeld  bool
+	scheduled bool
 }
 
 // applyQuasi installs a quasi-transaction under exclusive locks,
@@ -622,7 +634,11 @@ func (n *Node) onGrants(grants []lock.Grant) {
 		if w, ok := n.quasiWaiters[g.Txn]; ok {
 			delete(w.remaining, g.Object)
 			if len(w.remaining) == 0 {
-				n.installQuasi(w)
+				if w.run != nil {
+					n.scheduleInstall(n.apply, w)
+				} else {
+					n.installQuasi(w)
+				}
 			}
 			continue
 		}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"fragdb/internal/fragments"
+	"fragdb/internal/lock"
+	"fragdb/internal/metrics"
+	"fragdb/internal/simtime"
+	"fragdb/internal/storage"
+	"fragdb/internal/txn"
+)
+
+// ParallelApplier is the real-time counterpart of the netsim shard
+// scheduler in shard.go: k worker goroutines installing
+// quasi-transactions into a store under a (sharded) lock manager. The
+// netsim path fakes concurrency with overlapping virtual-time windows
+// so chaos repros stay deterministic; this runtime is what an rtnet
+// deployment uses, with genuine goroutine parallelism and therefore no
+// determinism guarantee.
+//
+// The ordering contract is the same: every fragment hashes to one
+// worker (the same fragment→shard mapping the sharded lock manager
+// uses), and each worker consumes its channel FIFO, so
+// quasi-transactions of one fragment install in submission order while
+// disjoint fragments proceed in parallel. SubmitBatch mirrors the
+// netsim run semantics — a contiguous same-fragment run pays one
+// combined lock acquisition and one release — and fans multi-fragment
+// batches out in ascending fragment-ID order, the shard-ordering
+// protocol's discipline.
+type ParallelApplier struct {
+	cfg    ParallelApplierConfig
+	shards []chan []txn.Quasi
+	wg     sync.WaitGroup
+
+	applied atomic.Uint64
+
+	// waitMu guards waiters: runs parked on locks held by external
+	// transactions (the engine's local-transaction side), woken by the
+	// grants their Release produces.
+	waitMu  sync.Mutex
+	waiters map[txn.ID]*papplyWaiter
+}
+
+// ParallelApplierConfig configures a ParallelApplier.
+type ParallelApplierConfig struct {
+	// Shards is the worker count; the lock manager should be sharded
+	// with the same count and a fragment-based placement so each
+	// worker's acquisitions stay inside its own lock shard. Minimum 1.
+	Shards int
+	// Store receives the installed writes.
+	Store *storage.Store
+	// Locks is the lock manager all appliers (and any concurrent local
+	// transactions) share.
+	Locks *lock.Manager
+	// Now supplies timestamps for the latency histogram. Injected so
+	// real-time callers pass wall time and tests pass whatever clock
+	// they run under (keeping this package free of wall-clock reads).
+	// Nil disables latency accounting.
+	Now func() simtime.Time
+	// Latency, if non-nil (and Now is set), observes each
+	// quasi-transaction's submit-to-install latency.
+	Latency *metrics.Histogram
+	// QueueDepth bounds each worker's channel (default 1024).
+	QueueDepth int
+}
+
+// papplyWaiter parks one run on its missing lock grants.
+type papplyWaiter struct {
+	remaining map[fragments.ObjectID]bool
+	done      chan struct{}
+	// armed is set once the acquisition loop has finished issuing
+	// requests; only then may a grant close done (grants can arrive
+	// concurrently, mid-loop).
+	armed  bool
+	closed bool
+}
+
+// NewParallelApplier starts the worker pool. Close releases it.
+func NewParallelApplier(cfg ParallelApplierConfig) *ParallelApplier {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	pa := &ParallelApplier{cfg: cfg, waiters: make(map[txn.ID]*papplyWaiter)}
+	pa.shards = make([]chan []txn.Quasi, cfg.Shards)
+	for i := range pa.shards {
+		ch := make(chan []txn.Quasi, cfg.QueueDepth)
+		pa.shards[i] = ch
+		pa.wg.Add(1)
+		go pa.worker(ch)
+	}
+	return pa
+}
+
+// ShardOf maps a fragment to its worker index.
+func (pa *ParallelApplier) ShardOf(f fragments.FragmentID) int {
+	return lock.HashShard(string(f), len(pa.shards))
+}
+
+// Submit routes one quasi-transaction to its fragment's worker.
+// Per-fragment FIFO: callers must submit each fragment's stream in
+// order (the broadcast layer's delivery order).
+func (pa *ParallelApplier) Submit(q txn.Quasi) {
+	pa.shards[pa.ShardOf(q.Fragment)] <- []txn.Quasi{q}
+}
+
+// SubmitBatch routes a batch (e.g. one delivered DataBatch): the
+// batch is grouped into same-fragment runs, each run installing under
+// one combined lock acquisition, and the runs fan out to their shards
+// in ascending fragment-ID order. Relative order within a fragment is
+// preserved.
+func (pa *ParallelApplier) SubmitBatch(qs []txn.Quasi) {
+	if len(qs) == 0 {
+		return
+	}
+	runs := make(map[fragments.FragmentID][]txn.Quasi)
+	ids := make([]fragments.FragmentID, 0, 4)
+	for _, q := range qs {
+		if _, ok := runs[q.Fragment]; !ok {
+			ids = append(ids, q.Fragment)
+		}
+		runs[q.Fragment] = append(runs[q.Fragment], q)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, f := range ids {
+		pa.shards[pa.ShardOf(f)] <- runs[f]
+	}
+}
+
+// Applied reports how many quasi-transactions have been installed.
+func (pa *ParallelApplier) Applied() uint64 { return pa.applied.Load() }
+
+// Close drains and stops the workers (all submitted work completes).
+func (pa *ParallelApplier) Close() {
+	for _, ch := range pa.shards {
+		close(ch)
+	}
+	pa.wg.Wait()
+}
+
+func (pa *ParallelApplier) worker(ch chan []txn.Quasi) {
+	defer pa.wg.Done()
+	for run := range ch {
+		pa.applyRun(run)
+	}
+}
+
+// applyRun installs one same-fragment run: acquire the run's combined
+// write set in sorted object order under the run's group owner (the
+// first quasi's id), park on any lock an external transaction holds,
+// install every quasi in run order, release once.
+func (pa *ParallelApplier) applyRun(run []txn.Quasi) {
+	owner := run[0].Txn
+	var at simtime.Time
+	if pa.cfg.Now != nil {
+		at = pa.cfg.Now()
+	}
+	objs := runWriteObjects(run)
+	w := &papplyWaiter{remaining: make(map[fragments.ObjectID]bool, len(objs)),
+		done: make(chan struct{})}
+	for _, o := range objs {
+		w.remaining[o] = true
+	}
+	pa.waitMu.Lock()
+	pa.waiters[owner] = w
+	pa.waitMu.Unlock()
+	for _, o := range objs {
+		for {
+			granted, err := pa.cfg.Locks.Acquire(owner, o, lock.Exclusive)
+			if err != nil {
+				// Deadlock with an external holder. Committed updates have
+				// priority (the engine wounds; here the holder is expected
+				// to release or abort on its own) — retry until it does.
+				runtime.Gosched()
+				continue
+			}
+			if granted {
+				pa.waitMu.Lock()
+				delete(w.remaining, o)
+				pa.waitMu.Unlock()
+			}
+			break
+		}
+	}
+	pa.waitMu.Lock()
+	w.armed = true
+	ready := len(w.remaining) == 0
+	if ready && !w.closed {
+		w.closed = true
+		close(w.done)
+	}
+	pa.waitMu.Unlock()
+	<-w.done
+	for _, q := range run {
+		pa.cfg.Store.ApplyQuasi(q)
+		pa.applied.Add(1)
+	}
+	if pa.cfg.Latency != nil && pa.cfg.Now != nil {
+		d := pa.cfg.Now().Sub(at)
+		for range run {
+			pa.cfg.Latency.Observe(d)
+		}
+	}
+	pa.waitMu.Lock()
+	delete(pa.waiters, owner)
+	pa.waitMu.Unlock()
+	pa.grant(pa.cfg.Locks.Release(owner))
+}
+
+// grant wakes runs whose missing locks were just released.
+func (pa *ParallelApplier) grant(grants []lock.Grant) {
+	if len(grants) == 0 {
+		return
+	}
+	pa.waitMu.Lock()
+	for _, g := range grants {
+		w := pa.waiters[g.Txn]
+		if w == nil {
+			continue
+		}
+		delete(w.remaining, g.Object)
+		if w.armed && !w.closed && len(w.remaining) == 0 {
+			w.closed = true
+			close(w.done)
+		}
+	}
+	pa.waitMu.Unlock()
+}
+
+// ExternalRelease is for the engine side sharing the lock manager with
+// the applier: after releasing a local transaction's locks, pass the
+// produced grants here so parked runs wake up.
+func (pa *ParallelApplier) ExternalRelease(grants []lock.Grant) { pa.grant(grants) }

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"fragdb/internal/fragments"
+	"fragdb/internal/lock"
+	"fragdb/internal/metrics"
+	"fragdb/internal/netsim"
+	"fragdb/internal/simtime"
+	"fragdb/internal/storage"
+	"fragdb/internal/txn"
+)
+
+// papplyFixture builds a catalog of nfrags two-object fragments, a
+// store, and a lock manager sharded (for shards > 1) by fragment with
+// the same placement a sharded cluster uses.
+func papplyFixture(tb testing.TB, nfrags, shards int) (*fragments.Catalog, *storage.Store, *lock.Manager) {
+	tb.Helper()
+	cat := fragments.NewCatalog()
+	for i := 0; i < nfrags; i++ {
+		f := fragments.FragmentID(fmt.Sprintf("B%02d", i))
+		if err := cat.AddFragment(f, fragments.ObjectID(string(f)+"/a"), fragments.ObjectID(string(f)+"/b")); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	store := storage.New(0, cat)
+	var m *lock.Manager
+	if shards > 1 {
+		m = lock.NewSharded(shards, func(o fragments.ObjectID) int {
+			if f, ok := cat.FragmentOf(o); ok {
+				return lock.HashShard(string(f), shards)
+			}
+			return lock.HashShard(string(o), shards)
+		})
+	} else {
+		m = lock.NewManager()
+	}
+	return cat, store, m
+}
+
+// papplyStreams generates per-fragment quasi streams: fragment i gets
+// its share of n quasis (uniform, or skewed 80/20 onto the first four
+// fragments), each writing the fragment's "a" object with its sequence
+// number and its "b" object with a constant.
+func papplyStreams(nfrags, n int, skewed bool, rng *rand.Rand) map[fragments.FragmentID][]txn.Quasi {
+	streams := make(map[fragments.FragmentID][]txn.Quasi, nfrags)
+	var uniq uint64
+	for i := 0; i < n; i++ {
+		var fi int
+		if skewed && rng.Intn(5) != 0 {
+			fi = rng.Intn(4)
+		} else {
+			fi = rng.Intn(nfrags)
+		}
+		f := fragments.FragmentID(fmt.Sprintf("B%02d", fi))
+		seq := uint64(len(streams[f]) + 1)
+		uniq++
+		streams[f] = append(streams[f], txn.Quasi{
+			Txn:      txn.ID{Origin: netsim.NodeID(fi % 4), Seq: uniq},
+			Fragment: f, Pos: txn.FragPos{Seq: seq}, Home: netsim.NodeID(fi % 4),
+			Writes: []txn.WriteOp{
+				{Object: fragments.ObjectID(string(f) + "/a"), Value: int64(seq)},
+				{Object: fragments.ObjectID(string(f) + "/b"), Value: int64(-1)},
+			},
+		})
+	}
+	return streams
+}
+
+// chunkRuns slices each fragment stream into contiguous runs of at
+// most size (the shape of delivered DataBatches) and interleaves the
+// runs across fragments in a deterministic shuffle.
+func chunkRuns(streams map[fragments.FragmentID][]txn.Quasi, size int, rng *rand.Rand) [][]txn.Quasi {
+	var ids []fragments.FragmentID
+	for f := range streams {
+		ids = append(ids, f)
+	}
+	// Map order is random: sort for determinism before shuffling.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	perFrag := make([][][]txn.Quasi, len(ids))
+	total := 0
+	for i, f := range ids {
+		s := streams[f]
+		for len(s) > 0 {
+			k := size
+			if k > len(s) {
+				k = len(s)
+			}
+			perFrag[i] = append(perFrag[i], s[:k])
+			s = s[k:]
+			total++
+		}
+	}
+	// Interleave across fragments at random but pop each fragment's runs
+	// front-first: the submit contract requires per-fragment order.
+	runs := make([][]txn.Quasi, 0, total)
+	for len(runs) < total {
+		i := rng.Intn(len(perFrag))
+		if len(perFrag[i]) == 0 {
+			continue
+		}
+		runs = append(runs, perFrag[i][0])
+		perFrag[i] = perFrag[i][1:]
+	}
+	return runs
+}
+
+// TestParallelApplierConcurrency hammers the applier from its own
+// workers while external transactions grab and release conflicting
+// locks through the shared sharded manager — the contention pattern
+// the waiter machinery exists for. Run under -race in CI.
+func TestParallelApplierConcurrency(t *testing.T) {
+	const nfrags, total = 16, 2000
+	cat, store, m := papplyFixture(t, nfrags, 8)
+	pa := NewParallelApplier(ParallelApplierConfig{Shards: 8, Store: store, Locks: m})
+	streams := papplyStreams(nfrags, total, false, rand.New(rand.NewSource(3)))
+	runs := chunkRuns(streams, 8, rand.New(rand.NewSource(4)))
+
+	// External lockers: short exclusive critical sections on the hot
+	// objects, releasing their grants back into the applier.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := txn.ID{Origin: netsim.NodeID(9), Seq: uint64(g*1000000 + i + 1)}
+				o := fragments.ObjectID(fmt.Sprintf("B%02d/a", rng.Intn(nfrags)))
+				granted, err := m.Acquire(id, o, lock.Exclusive)
+				if err == nil && !granted {
+					for !m.Holds(id, o, lock.Exclusive) {
+						runtime.Gosched()
+					}
+				}
+				pa.ExternalRelease(m.Release(id))
+			}
+		}(g)
+	}
+
+	for _, run := range runs {
+		pa.SubmitBatch(run)
+	}
+	pa.Close()
+	close(stop)
+	wg.Wait()
+
+	if got := pa.Applied(); got != total {
+		t.Fatalf("applied %d of %d quasi-transactions", got, total)
+	}
+	for f, s := range streams {
+		want := int64(len(s)) // last writer's seq
+		if v, _ := store.Get(fragments.ObjectID(string(f) + "/a")); v != want {
+			t.Errorf("%s/a = %v, want %v (per-fragment order violated)", f, v, want)
+		}
+	}
+	if held := m.NumHeld(txn.ID{}); held != 0 {
+		t.Errorf("zero txn holds %d locks", held)
+	}
+	_ = cat
+}
+
+// TestParallelApplierPerFragmentOrder checks single-submit mode keeps
+// each fragment's stream order even with all workers busy.
+func TestParallelApplierPerFragmentOrder(t *testing.T) {
+	const nfrags, total = 8, 800
+	_, store, m := papplyFixture(t, nfrags, 4)
+	pa := NewParallelApplier(ParallelApplierConfig{Shards: 4, Store: store, Locks: m})
+	streams := papplyStreams(nfrags, total, true, rand.New(rand.NewSource(7)))
+	for _, run := range chunkRuns(streams, 1, rand.New(rand.NewSource(8))) {
+		pa.Submit(run[0])
+	}
+	pa.Close()
+	if got := pa.Applied(); got != total {
+		t.Fatalf("applied %d of %d", got, total)
+	}
+	for f, s := range streams {
+		if v, _ := store.Get(fragments.ObjectID(string(f) + "/a")); v != int64(len(s)) {
+			t.Errorf("%s/a = %v, want %v", f, v, len(s))
+		}
+	}
+}
+
+// BenchmarkApplySaturation measures quasi-transaction apply throughput
+// (commits/sec) and p99 install latency across shard counts and
+// workload shapes. shards=1 submits one quasi at a time under
+// per-quasi lock acquisition — the engine's pre-sharding serial apply.
+// shards>1 uses the sharded manager and DataBatch-shaped runs: one
+// combined acquisition per fragment per run, workers in parallel.
+// Drive with -cpu 1,4,8 for the scheduler-parallelism axis.
+func BenchmarkApplySaturation(b *testing.B) {
+	for _, wl := range []struct {
+		name   string
+		skewed bool
+	}{{"disjoint", false}, {"skewed", true}} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/shards=%d", wl.name, shards), func(b *testing.B) {
+				benchApply(b, wl.skewed, shards)
+			})
+		}
+	}
+}
+
+func benchApply(b *testing.B, skewed bool, shards int) {
+	const nfrags = 64
+	_, store, m := papplyFixture(b, nfrags, shards)
+	hist := &metrics.Histogram{}
+	//halint:allow nowalltime -- benchmark measures real wall-clock latency on the rtnet-side runtime
+	now := func() simtime.Time { return simtime.Time(time.Now().UnixNano()) }
+	pa := NewParallelApplier(ParallelApplierConfig{
+		Shards: shards, Store: store, Locks: m, Now: now, Latency: hist,
+	})
+	streams := papplyStreams(nfrags, b.N, skewed, rand.New(rand.NewSource(11)))
+	runs := chunkRuns(streams, 16, rand.New(rand.NewSource(12)))
+	b.ResetTimer()
+	if shards == 1 {
+		for _, run := range runs {
+			for _, q := range run {
+				pa.Submit(q)
+			}
+		}
+	} else {
+		for _, run := range runs {
+			pa.SubmitBatch(run)
+		}
+	}
+	pa.Close()
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed, "commits/s")
+	}
+	_, _, p99 := hist.Percentiles()
+	b.ReportMetric(float64(p99.Microseconds()), "p99-µs")
+}

@@ -1,11 +1,13 @@
 package lock
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"fragdb/internal/fragments"
+	"fragdb/internal/netsim"
 	"fragdb/internal/txn"
 )
 
@@ -145,5 +147,180 @@ func TestQuickNoLeakedHolders(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))}
 	if err := quick.Check(f, cfg); err != nil {
 		t.Error(err)
+	}
+}
+
+// --- shard equivalence ------------------------------------------------
+//
+// The sharded manager must be observationally identical to the 1-shard
+// manager. We drive the same random operation sequence — acquires in
+// both modes, releases of holding, waiting, and untouched transactions,
+// and the engine's abort-on-deadlock reaction — against managers with
+// 1, 2, 4, and 8 shards and require identical outcomes at every step:
+// grant/queue/deadlock results, Release grant lists (including order),
+// observer event streams, and final holder sets.
+
+// obsEvent is one OnEvent occurrence, recorded for comparison.
+type obsEvent struct {
+	id   txn.ID
+	o    fragments.ObjectID
+	mode Mode
+	ev   TraceEvent
+}
+
+// mirror drives one manager and records everything observable about it.
+type mirror struct {
+	m      *Manager
+	events []obsEvent
+}
+
+func newMirror(k int) *mirror {
+	mi := &mirror{}
+	var m *Manager
+	if k == 1 {
+		m = NewManager()
+	} else {
+		m = NewSharded(k, nil)
+	}
+	m.OnEvent = func(id txn.ID, o fragments.ObjectID, mode Mode, ev TraceEvent) {
+		mi.events = append(mi.events, obsEvent{id, o, mode, ev})
+	}
+	mi.m = m
+	return mi
+}
+
+// eqStep is one operation in a generated equivalence sequence.
+type eqStep struct {
+	release bool
+	id      txn.ID
+	o       fragments.ObjectID
+	mode    Mode
+}
+
+// genSequence builds a random but contract-respecting operation
+// sequence: a transaction queued on a request issues no further
+// acquires until granted or released. The waiting set is tracked
+// against a scratch 1-shard manager, which is valid because every
+// manager under test must agree with it step by step.
+func genSequence(rng *rand.Rand, steps int) []eqStep {
+	scratch := NewManager()
+	objs := make([]fragments.ObjectID, 12)
+	for i := range objs {
+		objs[i] = fragments.ObjectID(fmt.Sprintf("f%d.o%d", i%5, i))
+	}
+	ids := make([]txn.ID, 8)
+	for i := range ids {
+		ids[i] = txn.ID{Origin: netsim.NodeID(i % 3), Seq: uint64(i + 1)}
+	}
+	var out []eqStep
+	for len(out) < steps {
+		id := ids[rng.Intn(len(ids))]
+		if scratch.Waiting(id) || rng.Intn(4) == 0 {
+			out = append(out, eqStep{release: true, id: id})
+			scratch.Release(id)
+			continue
+		}
+		o := objs[rng.Intn(len(objs))]
+		mode := Shared
+		if rng.Intn(2) == 0 {
+			mode = Exclusive
+		}
+		out = append(out, eqStep{id: id, o: o, mode: mode})
+		if _, err := scratch.Acquire(id, o, mode); err != nil {
+			// The engine reacts to deadlock by aborting (releasing) the
+			// requester; mirror that so sequences stay realistic.
+			out = append(out, eqStep{release: true, id: id})
+			scratch.Release(id)
+		}
+	}
+	return out
+}
+
+func TestShardEquivalence(t *testing.T) {
+	shardCounts := []int{1, 2, 4, 8}
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		seq := genSequence(rng, 120)
+		mirrors := make([]*mirror, len(shardCounts))
+		for i, k := range shardCounts {
+			mirrors[i] = newMirror(k)
+		}
+		base := mirrors[0]
+		for si, s := range seq {
+			if s.release {
+				want := base.m.Release(s.id)
+				for _, mi := range mirrors[1:] {
+					got := mi.m.Release(s.id)
+					if len(got) != len(want) {
+						t.Fatalf("seed %d step %d: Release(%v) grants %v, 1-shard %v (k=%d)",
+							seed, si, s.id, got, want, mi.m.ShardCount())
+					}
+					for gi := range want {
+						if got[gi] != want[gi] {
+							t.Fatalf("seed %d step %d: Release(%v) grant[%d] = %v, 1-shard %v (k=%d)",
+								seed, si, s.id, gi, got[gi], want[gi], mi.m.ShardCount())
+						}
+					}
+				}
+				continue
+			}
+			wantGranted, wantErr := base.m.Acquire(s.id, s.o, s.mode)
+			for _, mi := range mirrors[1:] {
+				granted, err := mi.m.Acquire(s.id, s.o, s.mode)
+				if granted != wantGranted || (err == nil) != (wantErr == nil) {
+					t.Fatalf("seed %d step %d: Acquire(%v, %s, %s) = (%v, %v), 1-shard (%v, %v) (k=%d)",
+						seed, si, s.id, s.o, s.mode, granted, err, wantGranted, wantErr, mi.m.ShardCount())
+				}
+			}
+		}
+		// Final-state checks: identical holder sets, held counts, waiting
+		// flags, and observer event streams.
+		for _, mi := range mirrors[1:] {
+			for _, s := range seq {
+				if s.o == "" {
+					continue
+				}
+				want := base.m.Holders(s.o)
+				got := mi.m.Holders(s.o)
+				if len(want) != len(got) {
+					t.Fatalf("seed %d: Holders(%s) = %v, 1-shard %v (k=%d)",
+						seed, s.o, got, want, mi.m.ShardCount())
+				}
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("seed %d: Holders(%s)[%d] = %v, 1-shard %v (k=%d)",
+							seed, s.o, i, got[i], want[i], mi.m.ShardCount())
+					}
+				}
+				if base.m.Waiting(s.id) != mi.m.Waiting(s.id) ||
+					base.m.NumHeld(s.id) != mi.m.NumHeld(s.id) {
+					t.Fatalf("seed %d: txn %v state diverges (k=%d)", seed, s.id, mi.m.ShardCount())
+				}
+			}
+			if len(base.events) != len(mi.events) {
+				t.Fatalf("seed %d: %d observer events, 1-shard %d (k=%d)",
+					seed, len(mi.events), len(base.events), mi.m.ShardCount())
+			}
+			for i := range base.events {
+				if base.events[i] != mi.events[i] {
+					t.Fatalf("seed %d: event[%d] = %+v, 1-shard %+v (k=%d)",
+						seed, i, mi.events[i], base.events[i], mi.m.ShardCount())
+				}
+			}
+		}
+	}
+}
+
+// TestShardPlacementSpread sanity-checks that the default hash actually
+// spreads a realistic object population across shards (a degenerate
+// all-on-one-shard hash would make the equivalence test vacuous).
+func TestShardPlacementSpread(t *testing.T) {
+	m := NewSharded(8, nil)
+	seen := make(map[int]bool)
+	for i := 0; i < 64; i++ {
+		seen[m.ShardOf(fragments.ObjectID(fmt.Sprintf("f%d.x", i)))] = true
+	}
+	if len(seen) < 4 {
+		t.Fatalf("64 objects landed on only %d of 8 shards", len(seen))
 	}
 }

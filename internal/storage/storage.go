@@ -6,10 +6,20 @@
 // full replication for simplicity; Section 3.1). The store is the unit
 // compared by the mutual-consistency checker: after quiescence and full
 // propagation, all copies of every fragment must be identical.
+//
+// The value map is striped: each object hashes to one of valStripes
+// lock-striped segments, so concurrent appliers installing disjoint
+// fragments (see core's sharded apply path) do not serialize on a
+// single store mutex. The write-ahead log keeps its own mutex; log
+// append order defines LSN order. Operations spanning several stripes
+// (snapshots, merges, multi-stripe installs) take stripe locks in
+// ascending stripe-index order, mirroring the lock manager's shard
+// ordering protocol.
 package storage
 
 import (
 	"fmt"
+	"hash/fnv"
 	"reflect"
 	"sort"
 	"sync"
@@ -44,24 +54,39 @@ type LogRecord struct {
 	Stamp    simtime.Time
 }
 
-// Store is one node's copy of the database. It is safe for concurrent
-// use (the real-time transport delivers from multiple goroutines).
-type Store struct {
+// valStripes is the number of lock stripes over the value map. A small
+// power of two: enough to keep 8 concurrent appliers from colliding
+// often, small enough that whole-store operations stay cheap.
+const valStripes = 16
+
+// stripe is one lock-striped segment of the value map.
+type stripe struct {
 	mu   sync.RWMutex
-	node netsim.NodeID
-	cat  *fragments.Catalog
 	vals map[fragments.ObjectID]Version
-	log  []LogRecord
-	lsn  uint64
+}
+
+// Store is one node's copy of the database. It is safe for concurrent
+// use (the real-time transport delivers from multiple goroutines, and
+// the sharded apply path installs from several workers).
+type Store struct {
+	node    netsim.NodeID
+	cat     *fragments.Catalog
+	stripes [valStripes]stripe
+
+	// logMu guards the write-ahead log; it nests inside stripe locks on
+	// the install path and is never held while taking a stripe lock.
+	logMu sync.Mutex
+	log   []LogRecord
+	lsn   uint64
 }
 
 // New creates an empty store for the given node over the catalog.
 func New(node netsim.NodeID, cat *fragments.Catalog) *Store {
-	return &Store{
-		node: node,
-		cat:  cat,
-		vals: make(map[fragments.ObjectID]Version),
+	s := &Store{node: node, cat: cat}
+	for i := range s.stripes {
+		s.stripes[i].vals = make(map[fragments.ObjectID]Version)
 	}
+	return s
 }
 
 // Node returns the owning node's id.
@@ -70,24 +95,60 @@ func (s *Store) Node() netsim.NodeID { return s.node }
 // Catalog returns the fragment catalog the store was built over.
 func (s *Store) Catalog() *fragments.Catalog { return s.cat }
 
+// stripeOf maps an object to its stripe index.
+func stripeOf(o fragments.ObjectID) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(o))
+	return int(h.Sum32() % valStripes)
+}
+
+// lockAllStripes write-locks every stripe in ascending stripe-index
+// order (whole-store operations: snapshots, merges).
+func (s *Store) lockAllStripes() {
+	for i := 0; i < valStripes; i++ {
+		s.stripes[i].mu.Lock()
+	}
+}
+
+// unlockAllStripes releases every stripe's write lock.
+func (s *Store) unlockAllStripes() {
+	for i := 0; i < valStripes; i++ {
+		s.stripes[i].mu.Unlock()
+	}
+}
+
+// rlockAllStripes read-locks every stripe in ascending stripe-index
+// order.
+func (s *Store) rlockAllStripes() {
+	for i := 0; i < valStripes; i++ {
+		s.stripes[i].mu.RLock()
+	}
+}
+
+// runlockAllStripes releases every stripe's read lock.
+func (s *Store) runlockAllStripes() {
+	for i := 0; i < valStripes; i++ {
+		s.stripes[i].mu.RUnlock()
+	}
+}
+
 // Load installs an initial value outside any transaction (database
 // population before the simulation starts).
 func (s *Store) Load(o fragments.ObjectID, v any) error {
 	if _, ok := s.cat.FragmentOf(o); !ok {
 		return fmt.Errorf("storage: load of object %q not in catalog", o)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.vals[o] = Version{Value: v}
+	st := &s.stripes[stripeOf(o)]
+	st.mu.Lock()
+	st.vals[o] = Version{Value: v}
+	st.mu.Unlock()
 	return nil
 }
 
 // Get returns the current value of an object. The second result is
 // false if the object has never been written or loaded.
 func (s *Store) Get(o fragments.ObjectID) (any, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ver, ok := s.vals[o]
+	ver, ok := s.GetVersion(o)
 	if !ok {
 		return nil, false
 	}
@@ -96,9 +157,10 @@ func (s *Store) Get(o fragments.ObjectID) (any, bool) {
 
 // GetVersion returns the full version record for an object.
 func (s *Store) GetVersion(o fragments.ObjectID) (Version, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ver, ok := s.vals[o]
+	st := &s.stripes[stripeOf(o)]
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	ver, ok := st.vals[o]
 	return ver, ok
 }
 
@@ -114,31 +176,52 @@ func (s *Store) ApplyQuasi(q txn.Quasi) uint64 {
 	return s.install(q.Txn, q.Fragment, q.Pos, true, q.Writes, q.Stamp)
 }
 
+// install writes the values under their stripes' locks — taken in
+// ascending stripe-index order when the write set spans stripes — then
+// appends the log record under the log mutex. Atomicity of the value
+// updates against readers is provided by the callers' lock-manager
+// isolation (an installer holds exclusive object locks), not by the
+// store; the stripes only protect map integrity.
 func (s *Store) install(id txn.ID, frag fragments.FragmentID, pos txn.FragPos, quasi bool, writes []txn.WriteOp, stamp simtime.Time) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	var mask uint32
 	for _, w := range writes {
-		s.vals[w.Object] = Version{Value: w.Value, Txn: id, Stamp: stamp, Pos: pos}
+		mask |= 1 << uint(stripeOf(w.Object))
 	}
+	for i := 0; i < valStripes; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			s.stripes[i].mu.Lock()
+		}
+	}
+	for _, w := range writes {
+		s.stripes[stripeOf(w.Object)].vals[w.Object] = Version{Value: w.Value, Txn: id, Stamp: stamp, Pos: pos}
+	}
+	for i := 0; i < valStripes; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			s.stripes[i].mu.Unlock()
+		}
+	}
+	s.logMu.Lock()
 	s.lsn++
+	lsn := s.lsn
 	s.log = append(s.log, LogRecord{
-		LSN: s.lsn, Txn: id, Fragment: frag, Pos: pos,
+		LSN: lsn, Txn: id, Fragment: frag, Pos: pos,
 		Quasi: quasi, Writes: writes, Stamp: stamp,
 	})
-	return s.lsn
+	s.logMu.Unlock()
+	return lsn
 }
 
 // LSN returns the log sequence number of the last installed record.
 func (s *Store) LSN() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
 	return s.lsn
 }
 
 // Log returns a copy of the write-ahead log.
 func (s *Store) Log() []LogRecord {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
 	out := make([]LogRecord, len(s.log))
 	copy(out, s.log)
 	return out
@@ -146,8 +229,8 @@ func (s *Store) Log() []LogRecord {
 
 // LogSince returns a copy of log records with LSN > after.
 func (s *Store) LogSince(after uint64) []LogRecord {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
 	i := sort.Search(len(s.log), func(i int) bool { return s.log[i].LSN > after })
 	out := make([]LogRecord, len(s.log)-i)
 	copy(out, s.log[i:])
@@ -156,11 +239,13 @@ func (s *Store) LogSince(after uint64) []LogRecord {
 
 // Snapshot returns a copy of all current object values.
 func (s *Store) Snapshot() map[fragments.ObjectID]any {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[fragments.ObjectID]any, len(s.vals))
-	for o, v := range s.vals {
-		out[o] = v.Value
+	s.rlockAllStripes()
+	defer s.runlockAllStripes()
+	out := make(map[fragments.ObjectID]any)
+	for i := range s.stripes {
+		for o, v := range s.stripes[i].vals {
+			out[o] = v.Value
+		}
 	}
 	return out
 }
@@ -169,15 +254,15 @@ func (s *Store) Snapshot() map[fragments.ObjectID]any {
 // of one fragment (used by the move-with-data protocol of Section
 // 4.4.2A, which transports the fragment's contents with the agent).
 func (s *Store) FragmentSnapshot(frag fragments.FragmentID) map[fragments.ObjectID]Version {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	out := make(map[fragments.ObjectID]Version)
 	f, ok := s.cat.Fragment(frag)
 	if !ok {
 		return out
 	}
+	s.rlockAllStripes()
+	defer s.runlockAllStripes()
 	for _, o := range f.Objects() {
-		if v, ok := s.vals[o]; ok {
+		if v, ok := s.stripes[stripeOf(o)].vals[o]; ok {
 			out[o] = v
 		}
 	}
@@ -189,21 +274,23 @@ func (s *Store) FragmentSnapshot(frag fragments.FragmentID) map[fragments.Object
 // "transport a copy of the fragment stored at X to store it in place of
 // the copy of the fragment at site Y").
 func (s *Store) InstallFragmentSnapshot(frag fragments.FragmentID, snap map[fragments.ObjectID]Version) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAllStripes()
+	defer s.unlockAllStripes()
 	for o, v := range snap {
-		s.vals[o] = v
+		s.stripes[stripeOf(o)].vals[o] = v
 	}
 }
 
 // VersionSnapshot returns a copy of every object's full version record
 // (used by snapshot catch-up, which needs Pos provenance to merge).
 func (s *Store) VersionSnapshot() map[fragments.ObjectID]Version {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[fragments.ObjectID]Version, len(s.vals))
-	for o, v := range s.vals {
-		out[o] = v
+	s.rlockAllStripes()
+	defer s.runlockAllStripes()
+	out := make(map[fragments.ObjectID]Version)
+	for i := range s.stripes {
+		for o, v := range s.stripes[i].vals {
+			out[o] = v
+		}
 	}
 	return out
 }
@@ -216,13 +303,14 @@ func (s *Store) VersionSnapshot() map[fragments.ObjectID]Version {
 // stream event, so no WAL record is appended — durability of installed
 // snapshots is the caller's concern. Returns how many objects changed.
 func (s *Store) MergeSnapshot(snap map[fragments.ObjectID]Version) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAllStripes()
+	defer s.unlockAllStripes()
 	changed := 0
 	for o, v := range snap {
-		cur, ok := s.vals[o]
+		vals := s.stripes[stripeOf(o)].vals
+		cur, ok := vals[o]
 		if !ok || cur.Pos.Less(v.Pos) {
-			s.vals[o] = v
+			vals[o] = v
 			changed++
 		}
 	}
@@ -267,7 +355,11 @@ func (s *Store) FragmentDiff(other *Store, frag fragments.FragmentID) []fragment
 
 // Len reports the number of objects with a value.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.vals)
+	s.rlockAllStripes()
+	defer s.runlockAllStripes()
+	total := 0
+	for i := range s.stripes {
+		total += len(s.stripes[i].vals)
+	}
+	return total
 }
