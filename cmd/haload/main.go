@@ -1,0 +1,345 @@
+// Command haload drives a deployed hanode cluster with concurrent
+// bank/counter/queue clients and reports throughput and latency.
+//
+//	haload -targets 127.0.0.1:8000,127.0.0.1:8001,127.0.0.1:8002 \
+//	       -clients 64 -duration 30s -out run.json
+//
+// Closed loop by default: -clients workers each keep exactly one
+// operation in flight against their node. With -rate R > 0 it runs an
+// open loop instead, launching R operations per second cluster-wide
+// regardless of completions (so queueing shows up as latency, not lost
+// offered load).
+//
+// Each worker sticks to one node (round-robin across -targets) and its
+// node's home account, mixing deposits, withdrawals, counter bumps, and
+// queue appends per -mix. Throughput is reported per second — the
+// per-second committed and aborted counts are the availability timeline
+// an experiment wants — and latency quantiles come from the same
+// power-of-two histogram the engine uses.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fragdb/internal/metrics"
+)
+
+type opKind int
+
+const (
+	opDeposit opKind = iota
+	opWithdraw
+	opBump
+	opEnqueue
+)
+
+// txRequest mirrors deploy.Op's JSON shape.
+type txRequest struct {
+	Kind    string `json:"kind"`
+	Account string `json:"account,omitempty"`
+	Amount  int64  `json:"amount,omitempty"`
+	Item    string `json:"item,omitempty"`
+}
+
+// txResponse mirrors hanode's /tx reply.
+type txResponse struct {
+	Committed bool   `json:"committed"`
+	Err       string `json:"err,omitempty"`
+}
+
+// tick is one second of the availability timeline.
+type tick struct {
+	Second    int    `json:"second"`
+	Committed uint64 `json:"committed"`
+	Aborted   uint64 `json:"aborted"`
+	Failed    uint64 `json:"failed"`
+}
+
+// report is the JSON artifact written by -out.
+type report struct {
+	Targets    []string `json:"targets"`
+	Clients    int      `json:"clients"`
+	Rate       float64  `json:"rate,omitempty"`
+	DurationS  float64  `json:"duration_s"`
+	Committed  uint64   `json:"committed"`
+	Aborted    uint64   `json:"aborted"`
+	Failed     uint64   `json:"failed"`
+	CommitsPS  float64  `json:"commits_per_sec"`
+	P50MS      float64  `json:"p50_ms"`
+	P95MS      float64  `json:"p95_ms"`
+	P99MS      float64  `json:"p99_ms"`
+	MeanMS     float64  `json:"mean_ms"`
+	Timeline   []tick   `json:"timeline"`
+	WindowFrom float64  `json:"window_from_s,omitempty"`
+	WindowTo   float64  `json:"window_to_s,omitempty"`
+}
+
+// loadState is the shared state every worker reports into.
+type loadState struct {
+	committed atomic.Uint64
+	aborted   atomic.Uint64
+	failed    atomic.Uint64 // transport/HTTP errors, not engine aborts
+	lat       metrics.Histogram
+	client    *http.Client
+	mix       []opKind
+	accounts  int
+}
+
+func main() {
+	var (
+		targets  = flag.String("targets", "", "comma-separated hanode HTTP addresses (required)")
+		clients  = flag.Int("clients", 32, "closed-loop concurrent clients")
+		rate     = flag.Float64("rate", 0, "open-loop offered ops/sec cluster-wide (0 = closed loop)")
+		duration = flag.Duration("duration", 15*time.Second, "how long to drive load")
+		mixSpec  = flag.String("mix", "deposit=4,withdraw=4,bump=1,enqueue=1", "operation mix weights")
+		accounts = flag.Int("accounts", 0, "accounts per cluster (default 2 per node)")
+		outPath  = flag.String("out", "", "write a JSON report to this file")
+		quiet    = flag.Bool("quiet", false, "suppress the per-second timeline on stderr")
+	)
+	flag.Parse()
+	if *targets == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	nodes := strings.Split(*targets, ",")
+	if *accounts <= 0 {
+		*accounts = 2 * len(nodes)
+	}
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		log.Fatalf("haload: %v", err)
+	}
+	st := &loadState{
+		client: &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        *clients * 2,
+				MaxIdleConnsPerHost: *clients * 2,
+			},
+		},
+		mix:      mix,
+		accounts: *accounts,
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	if *rate > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			openLoop(st, nodes, *rate, stop)
+		}()
+	} else {
+		for c := 0; c < *clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				closedWorker(st, nodes[c%len(nodes)], c%len(nodes), int64(c), stop)
+			}(c)
+		}
+	}
+
+	// Per-second timeline sampler.
+	var timeline []tick
+	var tlMu sync.Mutex
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tk := time.NewTicker(time.Second)
+		defer tk.Stop()
+		var prevC, prevA, prevF uint64
+		sec := 0
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tk.C:
+				sec++
+				c, a, f := st.committed.Load(), st.aborted.Load(), st.failed.Load()
+				t := tick{Second: sec, Committed: c - prevC, Aborted: a - prevA, Failed: f - prevF}
+				prevC, prevA, prevF = c, a, f
+				tlMu.Lock()
+				timeline = append(timeline, t)
+				tlMu.Unlock()
+				if !*quiet {
+					fmt.Fprintf(os.Stderr, "t=%3ds commits/s=%5d aborts/s=%5d failed/s=%5d\n",
+						sec, t.Committed, t.Aborted, t.Failed)
+				}
+			}
+		}
+	}()
+
+	time.Sleep(*duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	p50, p95, p99 := st.lat.Percentiles()
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	rep := report{
+		Targets:   nodes,
+		Clients:   *clients,
+		Rate:      *rate,
+		DurationS: elapsed.Seconds(),
+		Committed: st.committed.Load(),
+		Aborted:   st.aborted.Load(),
+		Failed:    st.failed.Load(),
+		CommitsPS: float64(st.committed.Load()) / elapsed.Seconds(),
+		P50MS:     ms(p50),
+		P95MS:     ms(p95),
+		P99MS:     ms(p99),
+		MeanMS:    ms(st.lat.Mean()),
+		Timeline:  timeline,
+	}
+	fmt.Printf("haload: %.1fs, %d committed (%.1f/s), %d aborted, %d failed; latency p50=%.2fms p95=%.2fms p99=%.2fms\n",
+		rep.DurationS, rep.Committed, rep.CommitsPS, rep.Aborted, rep.Failed, rep.P50MS, rep.P95MS, rep.P99MS)
+	if *outPath != "" {
+		buf, _ := json.MarshalIndent(rep, "", "  ")
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+			log.Fatalf("haload: writing report: %v", err)
+		}
+	}
+}
+
+// parseMix turns "deposit=4,withdraw=4,bump=1,enqueue=1" into a weighted
+// pick table.
+func parseMix(spec string) ([]opKind, error) {
+	kinds := map[string]opKind{
+		"deposit": opDeposit, "withdraw": opWithdraw,
+		"bump": opBump, "enqueue": opEnqueue,
+	}
+	var table []opKind
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad mix entry %q", part)
+		}
+		k, ok := kinds[kv[0]]
+		if !ok {
+			return nil, fmt.Errorf("unknown op %q in mix", kv[0])
+		}
+		var w int
+		if _, err := fmt.Sscanf(kv[1], "%d", &w); err != nil || w < 0 {
+			return nil, fmt.Errorf("bad weight %q in mix", kv[1])
+		}
+		for i := 0; i < w; i++ {
+			table = append(table, k)
+		}
+	}
+	if len(table) == 0 {
+		return nil, fmt.Errorf("empty mix")
+	}
+	return table, nil
+}
+
+// closedWorker keeps one operation in flight against its node.
+func closedWorker(st *loadState, target string, nodeID int, seed int64, stop chan struct{}) {
+	rng := rand.New(rand.NewSource(seed))
+	seq := 0
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		st.doOp(target, nodeID, rng, &seq)
+	}
+}
+
+// openLoop launches rate operations per second cluster-wide without
+// waiting for completions.
+func openLoop(st *loadState, nodes []string, rate float64, stop chan struct{}) {
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	tk := time.NewTicker(interval)
+	defer tk.Stop()
+	rng := rand.New(rand.NewSource(1))
+	var wg sync.WaitGroup
+	i := 0
+	seqs := make([]int, len(nodes))
+	for {
+		select {
+		case <-stop:
+			wg.Wait()
+			return
+		case <-tk.C:
+			node := i % len(nodes)
+			i++
+			op, seq := st.pickOp(node, rng, &seqs[node])
+			wg.Add(1)
+			go func(target string) {
+				defer wg.Done()
+				st.send(target, op, seq)
+			}(nodes[node])
+		}
+	}
+}
+
+// doOp picks and performs one operation synchronously.
+func (st *loadState) doOp(target string, nodeID int, rng *rand.Rand, seq *int) {
+	op, s := st.pickOp(nodeID, rng, seq)
+	st.send(target, op, s)
+}
+
+// pickOp draws from the mix. Deposits and withdrawals go to the node's
+// home account (its customer agent lives there); amounts keep balances
+// drifting upward so aborts measure availability, not overdrafts.
+func (st *loadState) pickOp(nodeID int, rng *rand.Rand, seq *int) (txRequest, int) {
+	*seq++
+	acct := fmt.Sprintf("A%02d", nodeID%st.accounts)
+	switch st.mix[rng.Intn(len(st.mix))] {
+	case opDeposit:
+		return txRequest{Kind: "deposit", Account: acct, Amount: int64(10 + rng.Intn(90))}, *seq
+	case opWithdraw:
+		return txRequest{Kind: "withdraw", Account: acct, Amount: int64(1 + rng.Intn(20))}, *seq
+	case opBump:
+		return txRequest{Kind: "bump", Amount: 1}, *seq
+	default:
+		return txRequest{Kind: "enqueue"}, *seq
+	}
+}
+
+// send posts one operation and records the outcome.
+func (st *loadState) send(target string, op txRequest, seq int) {
+	if op.Kind == "enqueue" {
+		op.Item = fmt.Sprintf("item-%d", seq)
+	}
+	body, _ := json.Marshal(op)
+	begin := time.Now()
+	resp, err := st.client.Post("http://"+target+"/tx", "application/json", bytes.NewReader(body))
+	if err != nil {
+		st.failed.Add(1)
+		// Back off briefly so a dead node doesn't spin the worker.
+		time.Sleep(50 * time.Millisecond)
+		return
+	}
+	var out txResponse
+	decErr := json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || decErr != nil {
+		st.failed.Add(1)
+		time.Sleep(50 * time.Millisecond)
+		return
+	}
+	st.lat.Observe(time.Since(begin))
+	if out.Committed {
+		st.committed.Add(1)
+	} else {
+		st.aborted.Add(1)
+	}
+}

@@ -16,8 +16,9 @@
 //     and naming generator types (*rand.Rand) remain fine;
 //   - dot-imports of either package, which would defeat the check.
 //
-// Exempt packages: internal/rtnet (the explicitly wall-clock transport)
-// and the cmd/ and examples/ binaries. Sanctioned exceptions elsewhere
+// Exempt packages: internal/rtnet (the explicitly wall-clock
+// transport), internal/deploy (the wall-clock deployment harness), and
+// the cmd/ and examples/ binaries. Sanctioned exceptions elsewhere
 // carry `//halint:allow nowalltime -- <why>` on the offending line; the
 // only one today is broadcast.WallTimer, rtnet's timer adapter.
 package nowalltime
@@ -58,14 +59,15 @@ var allowedRand = map[string]bool{
 
 // Deterministic reports whether an import path belongs to the
 // deterministic world: the whole module except the real-time transport
-// (internal/rtnet) and the cmd/examples binaries. Bare fixture paths
+// (internal/rtnet), the wall-clock deployment harness
+// (internal/deploy), and the cmd/examples binaries. Bare fixture paths
 // follow the same last-segment rule.
 func Deterministic(path string) bool {
 	path = strings.TrimSuffix(path, analysis.TestSuffix)
 	segs := strings.Split(path, "/")
 	for _, s := range segs {
 		switch s {
-		case "rtnet", "cmd", "examples":
+		case "rtnet", "deploy", "cmd", "examples":
 			return false
 		}
 	}

@@ -22,6 +22,7 @@ func TestDeterministic(t *testing.T) {
 		"fragdb/internal/broadcast":     true,
 		"fragdb/internal/chaoskit":      true,
 		"fragdb/internal/rtnet":         false,
+		"fragdb/internal/deploy":        false,
 		"fragdb/internal/rtnet [tests]": false,
 		"fragdb/cmd/halint":             false,
 		"fragdb/examples/banking":       false,

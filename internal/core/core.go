@@ -174,6 +174,20 @@ type Config struct {
 	// other shards overlap. Default 500µs when ApplyShards > 1; ignored
 	// on the serial path.
 	ApplyLatency simtime.Duration
+	// Transport, when non-nil, replaces the built-in simulated network:
+	// messages travel over it (e.g. rtnet.TCP in a real deployment)
+	// instead of netsim. Its N must equal Config.N. NetLatency,
+	// Topology, and LossProb are then ignored and Net() returns nil —
+	// faults come from the real network or the transport's own levers.
+	Transport netsim.Transport
+	// SingleNode builds only LocalNode's engine in this process; the
+	// other cluster members run in their own processes, reached through
+	// Transport (which is then required). Driver helpers that inspect
+	// every node (Converged, CheckMutualConsistency, Load, ...) cover
+	// only the local node, and Node(i) is nil for remote ids.
+	SingleNode bool
+	// LocalNode is this process's node id when SingleNode is set.
+	LocalNode netsim.NodeID
 }
 
 func (c *Config) fillDefaults() {
@@ -214,9 +228,12 @@ type RecoveredUpdate struct {
 // Cluster is a simulated fragments-and-agents distributed database:
 // n fully replicated nodes over a partitionable network.
 type Cluster struct {
-	cfg    Config
-	sched  *simtime.Scheduler
-	net    *netsim.Network
+	cfg   Config
+	sched *simtime.Scheduler
+	// tr is the transport every protocol message goes through: the
+	// simulated network by default, or Config.Transport when injected.
+	tr     netsim.Transport
+	net    *netsim.Network // nil when a Transport was injected
 	cat    *fragments.Catalog
 	tokens *fragments.Tokens
 	rag    *fragments.ReadAccessGraph
@@ -288,20 +305,31 @@ func NewCluster(cfg Config) *Cluster {
 		fragOptions: make(map[fragments.FragmentID]ControlOption),
 		replicas:    make(map[fragments.FragmentID]map[netsim.NodeID]bool),
 	}
-	// The fast wire codec makes per-delivery size accounting cheap
-	// (analytic for the hot types, memoized rejection for the
-	// simulation-internal ones), so every cluster meters wire bytes.
-	opts := []netsim.Option{netsim.WithSizeFunc(wire.Size)}
-	if cfg.NetLatency != nil {
-		opts = append(opts, netsim.WithLatency(cfg.NetLatency))
+	if cfg.Transport != nil {
+		if cfg.Transport.N() != cfg.N {
+			panic(fmt.Sprintf("core: transport has %d nodes, Config.N is %d", cfg.Transport.N(), cfg.N))
+		}
+		cl.tr = cfg.Transport
+	} else {
+		if cfg.SingleNode {
+			panic("core: SingleNode requires an injected Transport")
+		}
+		// The fast wire codec makes per-delivery size accounting cheap
+		// (analytic for the hot types, memoized rejection for the
+		// simulation-internal ones), so every cluster meters wire bytes.
+		opts := []netsim.Option{netsim.WithSizeFunc(wire.Size)}
+		if cfg.NetLatency != nil {
+			opts = append(opts, netsim.WithLatency(cfg.NetLatency))
+		}
+		if cfg.Topology != nil {
+			opts = append(opts, netsim.WithTopology(cfg.Topology))
+		}
+		if cfg.LossProb > 0 {
+			opts = append(opts, netsim.WithLoss(cfg.LossProb))
+		}
+		cl.net = netsim.New(cl.sched, cfg.N, opts...)
+		cl.tr = cl.net
 	}
-	if cfg.Topology != nil {
-		opts = append(opts, netsim.WithTopology(cfg.Topology))
-	}
-	if cfg.LossProb > 0 {
-		opts = append(opts, netsim.WithLoss(cfg.LossProb))
-	}
-	cl.net = netsim.New(cl.sched, cfg.N, opts...)
 	cl.rag = fragments.NewReadAccessGraph(cl.cat)
 	cl.rec = history.NewRecorder(cl.cat)
 	cl.tracers = make([]*trace.Recorder, cfg.N)
@@ -344,8 +372,21 @@ func (cl *Cluster) TraceDump(tail int) string { return trace.DumpAll(cl.tracers,
 // Sched returns the virtual-time scheduler driving the cluster.
 func (cl *Cluster) Sched() *simtime.Scheduler { return cl.sched }
 
-// Net returns the simulated network (partition control).
+// Net returns the simulated network (partition control) — nil when the
+// cluster runs over an injected Transport.
 func (cl *Cluster) Net() *netsim.Network { return cl.net }
+
+// Transport returns the transport carrying the cluster's messages.
+func (cl *Cluster) Transport() netsim.Transport { return cl.tr }
+
+// LocalNode returns this process's node engine: the SingleNode-mode
+// local node, or node 0 of an all-in-process cluster.
+func (cl *Cluster) LocalNode() *Node {
+	if cl.cfg.SingleNode {
+		return cl.nodes[cl.cfg.LocalNode]
+	}
+	return cl.nodes[0]
+}
 
 // Config returns the cluster's configuration.
 func (cl *Cluster) Config() Config { return cl.cfg }
@@ -442,6 +483,9 @@ func (cl *Cluster) Start() error {
 	}
 	cl.nodes = make([]*Node, cl.cfg.N)
 	for i := 0; i < cl.cfg.N; i++ {
+		if cl.cfg.SingleNode && netsim.NodeID(i) != cl.cfg.LocalNode {
+			continue // remote nodes live in their own processes
+		}
 		cl.nodes[i] = newNode(cl, netsim.NodeID(i))
 	}
 	cl.started = true
@@ -488,7 +532,7 @@ func (cl *Cluster) Load(o fragments.ObjectID, v any) error {
 		return fmt.Errorf("core: Load of uncataloged object %q", o)
 	}
 	for _, n := range cl.nodes {
-		if !cl.IsReplica(f, n.id) {
+		if n == nil || !cl.IsReplica(f, n.id) {
 			continue
 		}
 		if err := n.store.Load(o, v); err != nil {
@@ -512,6 +556,9 @@ func (cl *Cluster) Now() simtime.Time { return cl.sched.Now() }
 // delivered every other node's full broadcast stream.
 func (cl *Cluster) Converged() bool {
 	for _, n := range cl.nodes {
+		if n == nil {
+			continue
+		}
 		if len(n.active) > 0 {
 			return false
 		}
@@ -522,9 +569,14 @@ func (cl *Cluster) Converged() bool {
 		}
 	}
 	for origin := 0; origin < cl.cfg.N; origin++ {
+		// In SingleNode mode remote engines are unobservable; prefix
+		// agreement then only covers the local node against itself.
+		if cl.nodes[origin] == nil {
+			continue
+		}
 		want := cl.nodes[origin].bcast.Prefix(netsim.NodeID(origin))
 		for _, n := range cl.nodes {
-			if n.bcast.Prefix(netsim.NodeID(origin)) != want {
+			if n != nil && n.bcast.Prefix(netsim.NodeID(origin)) != want {
 				return false
 			}
 		}
@@ -556,7 +608,9 @@ func (cl *Cluster) Settle(maxExtra simtime.Duration) bool {
 // queue can drain.
 func (cl *Cluster) Shutdown() {
 	for _, n := range cl.nodes {
-		n.bcast.Stop()
+		if n != nil {
+			n.bcast.Stop()
+		}
 	}
 }
 
@@ -566,6 +620,9 @@ func (cl *Cluster) Shutdown() {
 // fault schedule, however hostile, always ends in a fully repaired
 // network — the precondition of the convergence guarantees.
 func (cl *Cluster) RestartAll() {
+	if cl.net == nil {
+		return // real deployment: restarts are the operator's lever
+	}
 	cl.net.Heal()
 	for _, n := range cl.nodes {
 		if cl.net.NodeDown(n.id) {
@@ -582,7 +639,9 @@ func (cl *Cluster) RestartAll() {
 func (cl *Cluster) ActiveTxnCount() int {
 	total := 0
 	for _, n := range cl.nodes {
-		total += len(n.active)
+		if n != nil {
+			total += len(n.active)
+		}
 	}
 	return total
 }
@@ -593,6 +652,9 @@ func (cl *Cluster) ActiveTxnCount() int {
 func (cl *Cluster) BufferedQuasiCount() int {
 	total := 0
 	for _, n := range cl.nodes {
+		if n == nil {
+			continue
+		}
 		for _, st := range n.streams {
 			total += len(st.pending) + len(st.prepared)
 		}
@@ -606,7 +668,7 @@ func (cl *Cluster) CheckMutualConsistency() error {
 	for _, f := range cl.cat.Fragments() {
 		var base *Node
 		for _, n := range cl.nodes {
-			if !cl.IsReplica(f, n.id) {
+			if n == nil || !cl.IsReplica(f, n.id) {
 				continue
 			}
 			if base == nil {

@@ -167,7 +167,7 @@ func (n *Node) handleRead(t *activeTxn, req request) bool {
 				n.tr.Emit(trace.Event{Kind: trace.KRemoteLockWait, Txn: t.id,
 					Obj: o, Peer: home, HasPeer: true})
 			}
-			n.cl.net.Send(n.id, home, lockReqMsg{Txn: t.id, Object: o, From: n.id})
+			n.cl.tr.Send(n.id, home, lockReqMsg{Txn: t.id, Object: o, From: n.id})
 			return false
 		}
 	}
@@ -189,7 +189,7 @@ func (n *Node) handleRead(t *activeTxn, req request) bool {
 				n.tr.Emit(trace.Event{Kind: trace.KRemoteLockWait, Txn: t.id,
 					Obj: o, Peer: home, HasPeer: true})
 			}
-			n.cl.net.Send(n.id, home, lockReqMsg{Txn: t.id, Object: o, From: n.id})
+			n.cl.tr.Send(n.id, home, lockReqMsg{Txn: t.id, Object: o, From: n.id})
 			return false
 		}
 	}
@@ -419,7 +419,7 @@ func (n *Node) finalize(t *activeTxn, err error, committed bool) {
 	delete(n.active, t.id)
 	grants := n.locks.Release(t.id)
 	for peer := range t.remoteLocked {
-		n.cl.net.Send(n.id, peer, lockReleaseMsg{Txn: t.id})
+		n.cl.tr.Send(n.id, peer, lockReleaseMsg{Txn: t.id})
 	}
 	now := n.cl.sched.Now()
 	if committed {
@@ -594,9 +594,26 @@ func (n *Node) woundHolders(o fragments.ObjectID, requester txn.ID) {
 	}
 }
 
+// ensureCataloged registers a quasi-transaction's write objects in this
+// process's catalog. In the simulator the shared catalog already knows
+// them (the home node's write path registered each object before the
+// quasi-transaction was broadcast, so this is a no-op); in a SingleNode
+// multi-process deployment each process has its own catalog, which
+// first learns of a remote agent's dynamically created objects here —
+// before the install and any application trigger that reads them.
+func (n *Node) ensureCataloged(f fragments.FragmentID, writes []txn.WriteOp) {
+	for _, wo := range writes {
+		// The only possible error is a cross-fragment conflict, which
+		// would require two agents writing the same object — excluded by
+		// the fragments-and-agents ownership model.
+		_ = n.cl.cat.EnsureObject(f, wo.Object)
+	}
+}
+
 // installQuasi applies the quasi-transaction's writes atomically and,
 // for ordered fragments, advances the stream.
 func (n *Node) installQuasi(w *quasiWaiter) {
+	n.ensureCataloged(w.f, w.q.Writes)
 	n.store.ApplyQuasi(w.q)
 	if w.ordered {
 		w.st.last = w.q.Pos

@@ -50,7 +50,7 @@ func (n *Node) handlePrepare(origin netsim.NodeID, m prepareMsg) {
 		n.tr.Emit(trace.Event{Kind: trace.KPrepareBuffered, Txn: m.Q.Txn,
 			Frag: m.Q.Fragment, Pos: m.Q.Pos, Peer: m.Q.Home, HasPeer: true})
 	}
-	n.cl.net.Send(n.id, m.Q.Home, ackMsg{Txn: m.Q.Txn, From: n.id})
+	n.cl.tr.Send(n.id, m.Q.Home, ackMsg{Txn: m.Q.Txn, From: n.id})
 }
 
 // handleAck counts an acknowledgment at the home node.

@@ -162,7 +162,7 @@ func (n *Node) performSwitch(f fragments.FragmentID, st *streamState, m m0Msg) {
 				n.tr.Emit(trace.Event{Kind: trace.KQuasiForward, Txn: q.Txn,
 					Frag: f, Pos: p, Peer: m.NewHome, HasPeer: true})
 			}
-			n.cl.net.Send(n.id, m.NewHome, forwardMsg{Q: q})
+			n.cl.tr.Send(n.id, m.NewHome, forwardMsg{Q: q})
 		}
 	}
 	n.notifyStreamWaiters(st)

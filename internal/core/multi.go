@@ -174,7 +174,7 @@ func (n *Node) startMulti(t *activeTxn) {
 	}
 	sort.Slice(fs, func(i, j int) bool { return fs[i] < fs[j] })
 	for _, f := range fs {
-		n.cl.net.Send(n.id, mc.homes[f], multiPrepareMsg{
+		n.cl.tr.Send(n.id, mc.homes[f], multiPrepareMsg{
 			MID: t.id, Fragment: f, Writes: parts[f], From: n.id,
 		})
 	}
@@ -184,7 +184,7 @@ func (n *Node) startMulti(t *activeTxn) {
 // the exclusive locks, then vote.
 func (n *Node) handleMultiPrepare(m multiPrepareMsg) {
 	vote := func(ok bool) {
-		n.cl.net.Send(n.id, m.From, multiVoteMsg{MID: m.MID, Fragment: m.Fragment, OK: ok, From: n.id})
+		n.cl.tr.Send(n.id, m.From, multiVoteMsg{MID: m.MID, Fragment: m.Fragment, OK: ok, From: n.id})
 	}
 	home, ok := n.cl.tokens.HomeOfFragment(m.Fragment)
 	if !ok || home != n.id || n.stream(m.Fragment).moveBlocked {
@@ -241,7 +241,7 @@ func (n *Node) votePart(p *multiPart) {
 		// Presumed abort: the coordinator vanished.
 		n.dropPart(p)
 	})
-	n.cl.net.Send(n.id, p.coordinator, multiVoteMsg{
+	n.cl.tr.Send(n.id, p.coordinator, multiVoteMsg{
 		MID: p.mid, Fragment: p.f, OK: true, From: n.id,
 	})
 }
@@ -278,9 +278,9 @@ func (n *Node) decideMulti(mc *multiCoord, commit bool, cause error) {
 	mc.t.waitingMulti = false
 	for f, home := range mc.homes {
 		if commit {
-			n.cl.net.Send(n.id, home, multiCommitMsg{MID: mc.t.id, Fragment: f})
+			n.cl.tr.Send(n.id, home, multiCommitMsg{MID: mc.t.id, Fragment: f})
 		} else {
-			n.cl.net.Send(n.id, home, multiAbortMsg{MID: mc.t.id, Fragment: f})
+			n.cl.tr.Send(n.id, home, multiAbortMsg{MID: mc.t.id, Fragment: f})
 		}
 	}
 	if commit {
@@ -305,7 +305,7 @@ func (n *Node) abortMulti(t *activeTxn) {
 	}
 	delete(n.multiCoords, t.id)
 	for f, home := range mc.homes {
-		n.cl.net.Send(n.id, home, multiAbortMsg{MID: t.id, Fragment: f})
+		n.cl.tr.Send(n.id, home, multiAbortMsg{MID: t.id, Fragment: f})
 	}
 }
 

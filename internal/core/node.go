@@ -19,8 +19,6 @@ type (
 	// m0Msg is the special message of Section 4.4.3 announcing an
 	// unprepared agent move: the new home node's identity, the new
 	// epoch, and the old-epoch prefix it had installed at move time.
-	//
-	//halint:allow wireencodable -- simulation-internal: rides the in-memory netsim by value, never serialized; wire.Size scores it 0 by design
 	m0Msg struct {
 		Fragment fragments.FragmentID
 		NewEpoch uint64
@@ -74,8 +72,6 @@ type (
 
 	// prepareMsg is phase one of the Section 4.4.1 majority commit: the
 	// quasi-transaction is buffered, not applied, and acknowledged.
-	//
-	//halint:allow wireencodable -- simulation-internal: rides the in-memory netsim by value, never serialized; wire.Size scores it 0 by design
 	prepareMsg struct {
 		Q txn.Quasi
 	}
@@ -87,8 +83,6 @@ type (
 	}
 
 	// commitCmdMsg is phase two: apply the buffered quasi-transaction.
-	//
-	//halint:allow wireencodable -- simulation-internal: rides the in-memory netsim by value, never serialized; wire.Size scores it 0 by design
 	commitCmdMsg struct {
 		Txn      txn.ID
 		Fragment fragments.FragmentID
@@ -96,8 +90,6 @@ type (
 
 	// abortCmdMsg cancels a prepared quasi-transaction that failed to
 	// assemble a majority.
-	//
-	//halint:allow wireencodable -- simulation-internal: rides the in-memory netsim by value, never serialized; wire.Size scores it 0 by design
 	abortCmdMsg struct {
 		Txn      txn.ID
 		Fragment fragments.FragmentID
@@ -245,7 +237,7 @@ func newNode(cl *Cluster, id netsim.NodeID) *Node {
 		n.apply = newApplyState(cl, id)
 		burst = nodeBurstSink{n}
 	}
-	n.bcast = broadcast.New(id, cl.net, cl.timer(),
+	n.bcast = broadcast.New(id, cl.tr, cl.timer(),
 		broadcast.Config{
 			GossipInterval:  int64(cl.cfg.GossipInterval),
 			BatchFlushDelay: int64(cl.cfg.BatchFlushDelay),
@@ -261,7 +253,7 @@ func newNode(cl *Cluster, id netsim.NodeID) *Node {
 			Burst:           burst,
 		},
 		n.handleBroadcast)
-	cl.net.SetHandler(id, n.handleTransport)
+	cl.tr.SetHandler(id, n.handleTransport)
 	return n
 }
 
@@ -357,7 +349,7 @@ func (n *Node) handleTransport(from netsim.NodeID, payload any) {
 	case multiAbortMsg:
 		n.handleMultiAbort(m)
 	case posQueryMsg:
-		n.cl.net.Send(n.id, m.From, posReplyMsg{
+		n.cl.tr.Send(n.id, m.From, posReplyMsg{
 			ID: m.ID, Fragment: m.Fragment, Pos: n.stream(m.Fragment).last, From: n.id,
 		})
 	case posReplyMsg:
@@ -450,7 +442,7 @@ func (n *Node) handleStraggler(st *streamState, q txn.Quasi) {
 			n.tr.Emit(trace.Event{Kind: trace.KQuasiForward, Txn: q.Txn,
 				Frag: q.Fragment, Pos: q.Pos, Peer: st.forwardTo, HasPeer: true})
 		}
-		n.cl.net.Send(n.id, st.forwardTo, forwardMsg{Q: q})
+		n.cl.tr.Send(n.id, st.forwardTo, forwardMsg{Q: q})
 	}
 	// Otherwise: duplicate of something installed before the switch.
 }
@@ -479,7 +471,7 @@ func (n *Node) QueryStreamPos(f fragments.FragmentID, onReply func(from netsim.N
 		if netsim.NodeID(p) == n.id {
 			continue
 		}
-		n.cl.net.Send(n.id, netsim.NodeID(p), posQueryMsg{ID: id, Fragment: f, From: n.id})
+		n.cl.tr.Send(n.id, netsim.NodeID(p), posQueryMsg{ID: id, Fragment: f, From: n.id})
 	}
 	return id
 }

@@ -29,7 +29,7 @@ import (
 func (n *Node) serveLockRequest(m lockReqMsg) {
 	granted, err := n.locks.Acquire(m.Txn, m.Object, lock.Shared)
 	if err != nil {
-		n.cl.net.Send(n.id, m.From, lockDenyMsg{Txn: m.Txn, Object: m.Object})
+		n.cl.tr.Send(n.id, m.From, lockDenyMsg{Txn: m.Txn, Object: m.Object})
 		return
 	}
 	if granted {
@@ -55,7 +55,7 @@ func (n *Node) grantRemote(id txn.ID, from netsim.NodeID, o fragments.ObjectID) 
 	if known {
 		msg.Value = ver.Value
 	}
-	n.cl.net.Send(n.id, from, msg)
+	n.cl.tr.Send(n.id, from, msg)
 }
 
 // expireRemote reclaims locks leaked by an unreachable remote reader.
@@ -78,7 +78,7 @@ func (n *Node) handleLockGrant(m lockGrantMsg) {
 	t, ok := n.active[m.Txn]
 	if !ok || t.finalizedFlag {
 		// We aborted while the grant was in flight: release it.
-		n.cl.net.Send(n.id, m.From, lockReleaseMsg{Txn: m.Txn})
+		n.cl.tr.Send(n.id, m.From, lockReleaseMsg{Txn: m.Txn})
 		return
 	}
 	if t.pendingRemote == nil || t.pendingRemote.obj != m.Object {

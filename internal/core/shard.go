@@ -246,6 +246,7 @@ func (n *Node) installRun(as *applyState, w *quasiWaiter) {
 			continue
 		}
 		delete(st.pending, q.Pos)
+		n.ensureCataloged(w.f, q.Writes)
 		n.store.ApplyQuasi(q)
 		st.last = q.Pos
 		st.appliedLog = append(st.appliedLog, q)

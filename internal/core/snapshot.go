@@ -26,9 +26,9 @@ import (
 // whose resolution (commit command, epoch announcement) may only arrive
 // in the retained tail above the snapshot horizon.
 type snapStream struct {
-	last     txn.FragPos
-	pending  map[txn.FragPos]txn.Quasi
-	prepared map[txn.ID]txn.Quasi
+	Last     txn.FragPos
+	Pending  map[txn.FragPos]txn.Quasi
+	Prepared map[txn.ID]txn.Quasi
 }
 
 // nodeSnap is the application state of broadcast.SnapshotOffer.State.
@@ -38,9 +38,9 @@ type snapStream struct {
 // paper's Section 2 "new transaction is triggered here" — fire at the
 // catching-up node exactly as if the updates had been delivered.
 type nodeSnap struct {
-	vals    map[fragments.ObjectID]storage.Version
-	streams map[fragments.FragmentID]snapStream
-	applied map[fragments.FragmentID][]txn.Quasi
+	Vals    map[fragments.ObjectID]storage.Version
+	Streams map[fragments.FragmentID]snapStream
+	Applied map[fragments.FragmentID][]txn.Quasi
 }
 
 // snapJournalEntry records one installed snapshot durably (see
@@ -74,24 +74,24 @@ func (n *Node) captureSnap() (any, bool) {
 		}
 	}
 	snap := nodeSnap{
-		vals:    n.store.VersionSnapshot(),
-		streams: make(map[fragments.FragmentID]snapStream),
-		applied: make(map[fragments.FragmentID][]txn.Quasi),
+		Vals:    n.store.VersionSnapshot(),
+		Streams: make(map[fragments.FragmentID]snapStream),
+		Applied: make(map[fragments.FragmentID][]txn.Quasi),
 	}
 	for f, st := range n.streams {
 		if n.cl.IsCommutative(f) {
 			continue
 		}
 		s := snapStream{
-			last:     st.last,
-			pending:  make(map[txn.FragPos]txn.Quasi, len(st.pending)),
-			prepared: make(map[txn.ID]txn.Quasi, len(st.prepared)),
+			Last:     st.last,
+			Pending:  make(map[txn.FragPos]txn.Quasi, len(st.pending)),
+			Prepared: make(map[txn.ID]txn.Quasi, len(st.prepared)),
 		}
 		for p, q := range st.pending {
-			s.pending[p] = q
+			s.Pending[p] = q
 		}
 		for id, q := range st.prepared {
-			s.prepared[id] = q
+			s.Prepared[id] = q
 		}
 		// This node's own in-flight majority-commit transactions: their
 		// prepare messages already occupy broadcast sequence numbers
@@ -105,7 +105,7 @@ func (n *Node) captureSnap() (any, bool) {
 			if !t.waitingMajority || t.pendingQuasi.Fragment != f {
 				continue
 			}
-			s.prepared[t.pendingQuasi.Txn] = t.pendingQuasi
+			s.Prepared[t.pendingQuasi.Txn] = t.pendingQuasi
 		}
 		// Quasi-transactions parked on write locks: drainStream has
 		// already pulled them out of st.pending, but installation waits
@@ -117,9 +117,9 @@ func (n *Node) captureSnap() (any, bool) {
 			if !w.ordered || w.f != f {
 				continue
 			}
-			s.pending[w.q.Pos] = w.q
+			s.Pending[w.q.Pos] = w.q
 		}
-		snap.streams[f] = s
+		snap.Streams[f] = s
 	}
 	// Commutative fragments travel as their installed quasi-transactions,
 	// rebuilt from the WAL. Home is approximated by this node's id; the
@@ -129,7 +129,7 @@ func (n *Node) captureSnap() (any, bool) {
 		if rec.Fragment == "" || !n.cl.IsCommutative(rec.Fragment) {
 			continue
 		}
-		snap.applied[rec.Fragment] = append(snap.applied[rec.Fragment], txn.Quasi{
+		snap.Applied[rec.Fragment] = append(snap.Applied[rec.Fragment], txn.Quasi{
 			Txn: rec.Txn, Fragment: rec.Fragment, Pos: rec.Pos,
 			Home: n.id, Writes: rec.Writes, Stamp: rec.Stamp,
 		})
@@ -141,12 +141,12 @@ func (n *Node) captureSnap() (any, bool) {
 		if w.ordered || !n.cl.IsCommutative(w.f) {
 			continue
 		}
-		snap.applied[w.f] = append(snap.applied[w.f], w.q)
+		snap.Applied[w.f] = append(snap.Applied[w.f], w.q)
 	}
 	if n.tr.Enabled() {
 		// Safe with the broadcaster's lock held: the recorder never calls
 		// out of its own mutex.
-		n.tr.Emit(trace.Event{Kind: trace.KSnapCapture, Arg: int64(len(snap.vals))})
+		n.tr.Emit(trace.Event{Kind: trace.KSnapCapture, Arg: int64(len(snap.Vals))})
 	}
 	return snap, true
 }
@@ -163,7 +163,7 @@ func (n *Node) installSnap(state any, have, prev map[netsim.NodeID]uint64) {
 		return // offers from a Snapshotter-less peer only move prefixes
 	}
 	if n.tr.Enabled() {
-		n.tr.Emit(trace.Event{Kind: trace.KSnapInstall, Arg: int64(len(snap.vals))})
+		n.tr.Emit(trace.Event{Kind: trace.KSnapInstall, Arg: int64(len(snap.Vals))})
 	}
 	for _, t := range n.activeSnapshot() {
 		n.cl.stats.Wounds.Add(1)
@@ -194,8 +194,8 @@ func (n *Node) applySnap(snap nodeSnap, have, prev map[netsim.NodeID]uint64) {
 	// Database versions: per-object dominance merge, skipping fragments
 	// this node does not replicate and commutative fragments (replayed
 	// below so triggers fire).
-	vals := make(map[fragments.ObjectID]storage.Version, len(snap.vals))
-	for o, v := range snap.vals {
+	vals := make(map[fragments.ObjectID]storage.Version, len(snap.Vals))
+	for o, v := range snap.Vals {
 		f, ok := n.cl.cat.FragmentOf(o)
 		if !ok || !n.cl.IsReplica(f, n.id) || n.cl.IsCommutative(f) {
 			continue
@@ -205,8 +205,8 @@ func (n *Node) applySnap(snap nodeSnap, have, prev map[netsim.NodeID]uint64) {
 	n.store.MergeSnapshot(vals)
 
 	// Non-commutative streams: advance positions and reconcile buffers.
-	frags := make([]fragments.FragmentID, 0, len(snap.streams))
-	for f := range snap.streams {
+	frags := make([]fragments.FragmentID, 0, len(snap.Streams))
+	for f := range snap.Streams {
 		frags = append(frags, f)
 	}
 	sort.Slice(frags, func(i, j int) bool { return frags[i] < frags[j] })
@@ -214,10 +214,10 @@ func (n *Node) applySnap(snap nodeSnap, have, prev map[netsim.NodeID]uint64) {
 		if !n.cl.IsReplica(f, n.id) {
 			continue
 		}
-		s := snap.streams[f]
+		s := snap.Streams[f]
 		st := n.stream(f)
-		if st.last.Less(s.last) {
-			st.last = s.last
+		if st.last.Less(s.Last) {
+			st.last = s.Last
 		}
 		// Buffers at or below the merged position are superseded (their
 		// effects, if committed, are in the merged versions).
@@ -235,19 +235,19 @@ func (n *Node) applySnap(snap nodeSnap, have, prev map[netsim.NodeID]uint64) {
 			// and does not hold it prepared: its commit or abort command
 			// lay in the skipped region, so the entry must not linger
 			// (a committed one is already in the merged versions).
-			if _, held := s.prepared[id]; !held && ahead(q.Home) {
+			if _, held := s.Prepared[id]; !held && ahead(q.Home) {
 				delete(st.prepared, id)
 			}
 		}
 		// Adopt the snapshot's in-flight buffers for skipped stream
 		// regions: their resolution arrives in the retained tail.
-		for p, q := range s.pending {
+		for p, q := range s.Pending {
 			if _, ok := st.pending[p]; ok || posLE(p, st.last) || !ahead(q.Home) {
 				continue
 			}
 			st.pending[p] = q
 		}
-		for id, q := range s.prepared {
+		for id, q := range s.Prepared {
 			if _, ok := st.prepared[id]; ok || posLE(q.Pos, st.last) || !ahead(q.Home) {
 				continue
 			}
@@ -261,8 +261,8 @@ func (n *Node) applySnap(snap nodeSnap, have, prev map[netsim.NodeID]uint64) {
 	// quasi-transactions through the normal unordered path — WAL records
 	// and application triggers (corrective actions at a central office)
 	// fire exactly as for delivered updates; seen ids deduplicate.
-	cfrags := make([]fragments.FragmentID, 0, len(snap.applied))
-	for f := range snap.applied {
+	cfrags := make([]fragments.FragmentID, 0, len(snap.Applied))
+	for f := range snap.Applied {
 		cfrags = append(cfrags, f)
 	}
 	sort.Slice(cfrags, func(i, j int) bool { return cfrags[i] < cfrags[j] })
@@ -271,7 +271,7 @@ func (n *Node) applySnap(snap nodeSnap, have, prev map[netsim.NodeID]uint64) {
 			continue
 		}
 		st := n.stream(f)
-		for _, q := range snap.applied[f] {
+		for _, q := range snap.Applied[f] {
 			if st.seen[q.Txn] {
 				continue
 			}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"encoding/gob"
+
+	"fragdb/internal/storage"
+)
+
+// In the simulator every protocol message rides netsim by value and is
+// never serialized. A real deployment ships them between processes, so
+// each concrete payload type must be decodable on the far side: the hot
+// types (txn.Quasi, the broadcast envelopes) go through the fast codec
+// in internal/wire, and everything else falls back to its gob path,
+// which needs both sides to have registered the concrete type under
+// the same name. The types are unexported but their fields are
+// exported, which is all gob requires.
+//
+// Registration happens at init so a process cannot forget it, and
+// halint's wireencodable analyzer derives the encodable set from these
+// very calls — adding a message type without extending this list fails
+// the lint, not the deployment.
+func init() {
+	// Direct node-to-node messages.
+	gob.Register(m0Msg{})
+	gob.Register(forwardMsg{})
+	gob.Register(lockReqMsg{})
+	gob.Register(lockGrantMsg{})
+	gob.Register(lockDenyMsg{})
+	gob.Register(lockReleaseMsg{})
+	gob.Register(prepareMsg{})
+	gob.Register(ackMsg{})
+	gob.Register(commitCmdMsg{})
+	gob.Register(abortCmdMsg{})
+	gob.Register(posQueryMsg{})
+	gob.Register(posReplyMsg{})
+	// Multi-fragment 2PC messages.
+	gob.Register(multiPrepareMsg{})
+	gob.Register(multiVoteMsg{})
+	gob.Register(multiCommitMsg{})
+	gob.Register(multiAbortMsg{})
+	// Snapshot catch-up state (broadcast.SnapshotOffer.State) and the
+	// version values it carries.
+	gob.Register(nodeSnap{})
+	gob.Register(snapStream{})
+	gob.Register(storage.Version{})
+}

@@ -1,0 +1,188 @@
+package deploy
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fragdb/internal/core"
+	"fragdb/internal/netsim"
+	"fragdb/internal/rtnet"
+	"fragdb/internal/workload"
+)
+
+// clusterOutcome is what a 3-node deployment run produces: committed
+// operation counts and the converged state every replica agreed on.
+type clusterOutcome struct {
+	commits     int64
+	deposits    int64
+	withdrawals int64
+	counter     int64
+	queue       int
+	balances    int64
+}
+
+// buildCluster assembles n deployment nodes over the requested
+// transport kind ("loopback" or "tcp") and registers cleanup.
+func buildCluster(t *testing.T, n int, kind string) []*Node {
+	t.Helper()
+	nodes := make([]*Node, n)
+	switch kind {
+	case "loopback":
+		shared := rtnet.New(n, 2*time.Millisecond)
+		t.Cleanup(shared.Close)
+		addrs := make([]string, n)
+		for i := range addrs {
+			addrs[i] = fmt.Sprintf("loopback-%d", i)
+		}
+		for i := 0; i < n; i++ {
+			nd, err := New(Config{ID: i, Addrs: addrs, Accounts: n, Seed: int64(i + 1)}, shared)
+			if err != nil {
+				t.Fatalf("node %d: %v", i, err)
+			}
+			nodes[i] = nd
+			t.Cleanup(nd.Close)
+		}
+	case "tcp":
+		lns := make([]net.Listener, n)
+		addrs := make([]string, n)
+		for i := range lns {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			lns[i] = ln
+			addrs[i] = ln.Addr().String()
+		}
+		for i := 0; i < n; i++ {
+			nd, err := NewTCP(Config{ID: i, Addrs: addrs, Accounts: n, Seed: int64(i + 1), Listener: lns[i]})
+			if err != nil {
+				t.Fatalf("node %d: %v", i, err)
+			}
+			nodes[i] = nd
+			t.Cleanup(nd.Close)
+		}
+	default:
+		t.Fatalf("unknown transport kind %q", kind)
+	}
+	return nodes
+}
+
+// runScenario drives the identical workload against a fresh cluster
+// over the given transport kind and returns the converged outcome.
+func runScenario(t *testing.T, kind string) clusterOutcome {
+	t.Helper()
+	const n = 3
+	const rounds = 8
+	nodes := buildCluster(t, n, kind)
+
+	var wg sync.WaitGroup
+	var commits, deposits, withdrawals, bumps, enqueues atomic.Int64
+	track := func(kindCommits *atomic.Int64, amt int64) func(core.TxnResult) {
+		wg.Add(1)
+		return func(r core.TxnResult) {
+			defer wg.Done()
+			if r.Committed {
+				commits.Add(1)
+				kindCommits.Add(amt)
+			}
+		}
+	}
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < n; i++ {
+			nd := nodes[i]
+			acct := workload.LiveAccount(i)
+			ops := []struct {
+				op   Op
+				done func(core.TxnResult)
+			}{
+				{Op{Kind: "deposit", Account: acct, Amount: 50}, track(&deposits, 50)},
+				{Op{Kind: "withdraw", Account: acct, Amount: 30}, track(&withdrawals, 30)},
+				{Op{Kind: "bump", Amount: 1}, track(&bumps, 1)},
+				{Op{Kind: "enqueue", Item: fmt.Sprintf("it-%d-%d", round, i)}, track(&enqueues, 1)},
+			}
+			for _, o := range ops {
+				if err := nd.Do(o.op, o.done); err != nil {
+					t.Fatalf("node %d %s: %v", i, o.op.Kind, err)
+				}
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s: operations did not finish in 30s", kind)
+	}
+
+	// Poll until every replica has converged: the commutative totals
+	// match the committed operation counts and the money adds up at
+	// every node.
+	wantBalances := int64(n)*1000 + deposits.Load() - withdrawals.Load()
+	deadline := time.Now().Add(30 * time.Second)
+	var lastErr string
+	for {
+		converged := true
+		lastErr = ""
+		for i := 0; i < n; i++ {
+			nd := nodes[i]
+			local := netsim.NodeID(nd.Cfg.ID)
+			var ctr, total int64
+			var q int
+			if err := nd.Inspect(func() {
+				ctr = nd.Live.CounterTotal(local)
+				q = nd.Live.QueueLen(local)
+				for a := 0; a < n; a++ {
+					total += nd.Live.Balance(local, workload.LiveAccount(a))
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if ctr != bumps.Load() || q != int(enqueues.Load()) || total != wantBalances {
+				converged = false
+				lastErr = fmt.Sprintf("node %d: counter %d/%d queue %d/%d balances %d/%d",
+					i, ctr, bumps.Load(), q, enqueues.Load(), total, wantBalances)
+			}
+		}
+		if converged {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: replicas did not converge: %s", kind, lastErr)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// With no faults and no overdrafts every submitted operation must
+	// commit — 4 ops per node per round.
+	if want := int64(rounds * n * 4); commits.Load() != want {
+		t.Fatalf("%s: %d/%d operations committed", kind, commits.Load(), want)
+	}
+	return clusterOutcome{
+		commits:     commits.Load(),
+		deposits:    deposits.Load(),
+		withdrawals: withdrawals.Load(),
+		counter:     bumps.Load(),
+		queue:       int(enqueues.Load()),
+		balances:    wantBalances,
+	}
+}
+
+// TestLoopbackTCPEquivalence runs the same 3-node bank/counter/queue
+// workload once over the in-process loopback transport and once over
+// real TCP sockets (gob frames, reconnecting peers) and demands the
+// identical outcome: same commits, same converged totals. This is the
+// check that the TCP path — codec, framing, connection management,
+// loop-threaded delivery — preserves engine semantics exactly.
+func TestLoopbackTCPEquivalence(t *testing.T) {
+	loop := runScenario(t, "loopback")
+	tcp := runScenario(t, "tcp")
+	if loop != tcp {
+		t.Fatalf("transports diverged:\n loopback: %+v\n tcp:      %+v", loop, tcp)
+	}
+}

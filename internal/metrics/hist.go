@@ -174,6 +174,104 @@ func (h *Histogram) Merge(o *Histogram) {
 	}
 }
 
+// HistSnapshot is a self-consistent point-in-time view of a Histogram,
+// for exposition formats that must not mix values from different
+// instants. Its Count is derived from the captured bucket counts, so a
+// cumulative rendering always ends exactly at Count — scraping a
+// histogram mid-Observe can no longer produce a le="+Inf" bucket that
+// disagrees with the _count line (Observe increments count before the
+// bucket, so reading the two independently races). Sum and Max are
+// captured best-effort alongside; Sum is clamped to zero when the
+// snapshot is empty.
+type HistSnapshot struct {
+	// Count is the number of samples in the snapshot: exactly the sum
+	// of the bucket counts, by construction.
+	Count uint64
+	// Sum and Max are the totals at capture time.
+	Sum, Max time.Duration
+
+	counts [HistBuckets]uint64
+}
+
+// Snapshot captures a self-consistent view of the histogram. Safe to
+// call concurrently with Observe.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	// Capture sum and max before the buckets: each may then be at most
+	// as fresh as the buckets, never reflect samples the buckets missed.
+	s.Sum = time.Duration(h.sum.Load())
+	s.Max = time.Duration(h.max.Load())
+	for i := 0; i < HistBuckets; i++ {
+		c := h.buckets[i].Load()
+		s.counts[i] = c
+		s.Count += c
+	}
+	if s.Count == 0 {
+		s.Sum, s.Max = 0, 0
+	}
+	return s
+}
+
+// Buckets returns the snapshot's non-empty buckets in ascending order.
+func (s *HistSnapshot) Buckets() []Bucket {
+	var out []Bucket
+	for i := 0; i < HistBuckets; i++ {
+		if c := s.counts[i]; c > 0 {
+			out = append(out, Bucket{Upper: histBucketUpper(i), Count: c})
+		}
+	}
+	return out
+}
+
+// Quantile returns an upper bound for the q-quantile of the snapshot,
+// with the same clamping rules as Histogram.Quantile.
+func (s *HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for i := 0; i < HistBuckets; i++ {
+		cum += s.counts[i]
+		if cum >= rank {
+			if i == HistBuckets-1 {
+				return s.Max
+			}
+			upper := histBucketUpper(i)
+			if upper > s.Max {
+				upper = s.Max
+			}
+			return upper
+		}
+	}
+	return s.Max // unreachable: Count is the bucket sum
+}
+
+// Percentiles returns the snapshot's p50, p95, and p99 bounds.
+func (s *HistSnapshot) Percentiles() (p50, p95, p99 time.Duration) {
+	return s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99)
+}
+
+// Mean returns the snapshot's average sample (0 when empty).
+func (s *HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
 // String renders the summary statistics on one line.
 func (h *Histogram) String() string {
 	p50, p95, p99 := h.Percentiles()

@@ -161,3 +161,74 @@ func TestHistString(t *testing.T) {
 		}
 	}
 }
+
+func TestHistSnapshotBasics(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Count != 0 || s.Sum != 0 || s.Max != 0 || s.Quantile(0.5) != 0 {
+		t.Errorf("empty snapshot not zero: %+v", s)
+	}
+	h.Observe(2 * time.Millisecond)
+	h.Observe(6 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 2 || s.Sum != 8*time.Millisecond || s.Max != 6*time.Millisecond {
+		t.Errorf("snapshot: count=%d sum=%v max=%v", s.Count, s.Sum, s.Max)
+	}
+	var inBuckets uint64
+	for _, b := range s.Buckets() {
+		inBuckets += b.Count
+	}
+	if inBuckets != s.Count {
+		t.Errorf("bucket total %d != snapshot count %d", inBuckets, s.Count)
+	}
+	if p50, _, p99 := s.Percentiles(); p50 > s.Max || p99 > s.Max {
+		t.Errorf("quantiles exceed max: p50=%v p99=%v max=%v", p50, p99, s.Max)
+	}
+	if got := s.Mean(); got != 4*time.Millisecond {
+		t.Errorf("snapshot mean = %v", got)
+	}
+	// The live histogram keeps observing; the snapshot must not move.
+	h.Observe(time.Second)
+	if s.Count != 2 {
+		t.Errorf("snapshot mutated by later Observe: count=%d", s.Count)
+	}
+}
+
+// TestHistSnapshotConsistentUnderConcurrency is the regression test for
+// the /metrics scrape race: while writers hammer Observe, every
+// snapshot must be internally consistent — its Count equals the sum of
+// its bucket counts exactly (the invariant Prometheus requires between
+// the le="+Inf" bucket and the _count line). Reading Count() and
+// Buckets() independently violates this almost immediately.
+func TestHistSnapshotConsistentUnderConcurrency(t *testing.T) {
+	var h Histogram
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			d := time.Duration(seed)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(d * time.Microsecond)
+				d = (d*1664525 + 1013904223) % (1 << 20)
+			}
+		}(w + 1)
+	}
+	for i := 0; i < 5000; i++ {
+		s := h.Snapshot()
+		var inBuckets uint64
+		for _, b := range s.Buckets() {
+			inBuckets += b.Count
+		}
+		if inBuckets != s.Count {
+			t.Fatalf("iteration %d: snapshot count %d != bucket sum %d", i, s.Count, inBuckets)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

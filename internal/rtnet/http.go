@@ -93,33 +93,39 @@ func writePrometheus(w http.ResponseWriter, v DebugVars) {
 }
 
 // writeHistogram renders one power-of-two histogram with cumulative
-// buckets, durations converted to seconds.
+// buckets, durations converted to seconds. It renders from a
+// HistSnapshot so the cumulative buckets, the +Inf bucket, and the
+// _count line agree even while Observe runs concurrently (reading the
+// buckets and the count independently raced: Observe increments count
+// before the bucket, so a scrape could see +Inf < the last bucket).
 func writeHistogram(w http.ResponseWriter, name, help string, h *metrics.Histogram) {
+	s := h.Snapshot()
 	fmt.Fprintf(w, "# HELP fragdb_%s %s\n# TYPE fragdb_%s histogram\n", name, help, name)
 	cum := uint64(0)
-	for _, b := range h.Buckets() {
+	for _, b := range s.Buckets() {
 		cum += b.Count
 		fmt.Fprintf(w, "fragdb_%s_bucket{le=%q} %d\n",
 			name, formatLE(b.Upper.Seconds()), cum)
 	}
-	fmt.Fprintf(w, "fragdb_%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
-	fmt.Fprintf(w, "fragdb_%s_sum %g\n", name, h.Sum().Seconds())
-	fmt.Fprintf(w, "fragdb_%s_count %d\n", name, h.Count())
+	fmt.Fprintf(w, "fragdb_%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	fmt.Fprintf(w, "fragdb_%s_sum %g\n", name, s.Sum.Seconds())
+	fmt.Fprintf(w, "fragdb_%s_count %d\n", name, s.Count)
 }
 
 // writeCountHistogram renders a histogram whose samples are plain
 // counts (stored as nanosecond ticks), so bucket bounds are unitless
 // integers rather than seconds.
 func writeCountHistogram(w http.ResponseWriter, name, help string, h *metrics.Histogram) {
+	s := h.Snapshot()
 	fmt.Fprintf(w, "# HELP fragdb_%s %s\n# TYPE fragdb_%s histogram\n", name, help, name)
 	cum := uint64(0)
-	for _, b := range h.Buckets() {
+	for _, b := range s.Buckets() {
 		cum += b.Count
 		fmt.Fprintf(w, "fragdb_%s_bucket{le=\"%d\"} %d\n", name, int64(b.Upper), cum)
 	}
-	fmt.Fprintf(w, "fragdb_%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
-	fmt.Fprintf(w, "fragdb_%s_sum %d\n", name, int64(h.Sum()))
-	fmt.Fprintf(w, "fragdb_%s_count %d\n", name, h.Count())
+	fmt.Fprintf(w, "fragdb_%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	fmt.Fprintf(w, "fragdb_%s_sum %d\n", name, int64(s.Sum))
+	fmt.Fprintf(w, "fragdb_%s_count %d\n", name, s.Count)
 }
 
 // formatLE renders a bucket bound without exponent notation surprises.

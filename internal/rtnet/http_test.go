@@ -2,9 +2,11 @@ package rtnet
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -136,5 +138,86 @@ func TestTraceEndpoint(t *testing.T) {
 	}
 	if code, _ := get(t, "/trace?n=-1"); code != 400 {
 		t.Errorf("negative n: want 400, got %d", code)
+	}
+}
+
+// TestMetricsConcurrentScrape scrapes /metrics while writers hammer the
+// latency histogram, and checks on every scrape that the histogram
+// lines are self-consistent: the le="+Inf" bucket equals the _count
+// line and equals the last cumulative bucket. Before histograms were
+// rendered from a snapshot, the +Inf bucket (read via Count()) raced
+// ahead of or behind the per-bucket reads.
+func TestMetricsConcurrentScrape(t *testing.T) {
+	c := &metrics.Counters{}
+	srv := httptest.NewServer(NewDebugHandler(DebugVars{Counters: c}))
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			d := time.Duration(seed + 1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.CommitLatency.Observe(d * time.Microsecond)
+				d = (d*1664525 + 1013904223) % (1 << 18)
+			}
+		}(w)
+	}
+	defer func() { close(stop); wg.Wait() }()
+
+	scrape := func() string {
+		resp, err := srv.Client().Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatalf("GET /metrics: %v", err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read body: %v", err)
+		}
+		return string(body)
+	}
+	for i := 0; i < 50; i++ {
+		body := scrape()
+		var lastCum, inf, count uint64
+		var haveInf, haveCount bool
+		for _, line := range strings.Split(body, "\n") {
+			if !strings.HasPrefix(line, "fragdb_commit_latency_seconds") {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				continue
+			}
+			var v uint64
+			if _, err := fmt.Sscan(fields[1], &v); err != nil {
+				continue // _sum is a float; skip
+			}
+			switch {
+			case strings.Contains(line, `le="+Inf"`):
+				inf, haveInf = v, true
+			case strings.HasPrefix(line, "fragdb_commit_latency_seconds_bucket"):
+				if v < lastCum {
+					t.Fatalf("scrape %d: cumulative bucket decreased: %s\n%s", i, line, body)
+				}
+				lastCum = v
+			case strings.HasPrefix(line, "fragdb_commit_latency_seconds_count"):
+				count, haveCount = v, true
+			}
+		}
+		if !haveInf || !haveCount {
+			t.Fatalf("scrape %d: missing +Inf or _count lines:\n%s", i, body)
+		}
+		if inf != count || inf != lastCum {
+			t.Fatalf("scrape %d: inconsistent histogram: last bucket %d, +Inf %d, count %d",
+				i, lastCum, inf, count)
+		}
 	}
 }

@@ -1,0 +1,156 @@
+package rtnet
+
+import (
+	"sync"
+	"time"
+
+	"fragdb/internal/netsim"
+	"fragdb/internal/simtime"
+)
+
+// Loop drives a simtime.Scheduler at wall-clock pace: virtual time is
+// pinned to the wall time elapsed since Start, and every scheduled
+// event fires (on the loop goroutine) once the wall clock passes its
+// virtual firing time. This is how the deterministic engine stack runs
+// in a real deployment without any changes: the engine keeps scheduling
+// timeouts and leases on its virtual clock, and the loop makes that
+// clock track reality.
+//
+// The scheduler itself stays single-threaded, exactly as in the
+// simulator: only the loop goroutine touches it. External events — a
+// TCP frame arriving, an HTTP request submitting a transaction — enter
+// through Inject, which enqueues a closure for the loop goroutine to
+// run between events. The closure may use the scheduler freely.
+type Loop struct {
+	sched   *simtime.Scheduler
+	inject  chan func()
+	stop    chan struct{}
+	done    chan struct{}
+	started time.Time
+
+	stopOnce sync.Once
+}
+
+// injectBuffer bounds how many external events may queue while the loop
+// is busy; Inject blocks (applying backpressure) when it is full.
+const injectBuffer = 4096
+
+// maxIdleWait bounds how long the loop sleeps when the scheduler has no
+// pending events, so a scheduler that gains events only via Inject still
+// re-syncs its clock at a human-scale interval.
+const maxIdleWait = 250 * time.Millisecond
+
+// NewLoop wraps a scheduler. The scheduler must not be used from any
+// other goroutine once Start is called, except through Inject.
+func NewLoop(sched *simtime.Scheduler) *Loop {
+	return &Loop{
+		sched:  sched,
+		inject: make(chan func(), injectBuffer),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Start begins driving the scheduler on a new goroutine. Virtual time
+// zero corresponds to the moment Start is called.
+func (l *Loop) Start() {
+	l.started = time.Now()
+	go l.run()
+}
+
+// Inject schedules fn to run on the loop goroutine, with the virtual
+// clock advanced to the current wall offset first. It blocks when the
+// loop is saturated and reports false (without running fn) once the
+// loop is stopped.
+func (l *Loop) Inject(fn func()) bool {
+	select {
+	case <-l.stop:
+		return false
+	default:
+	}
+	select {
+	case l.inject <- fn:
+		return true
+	case <-l.stop:
+		return false
+	}
+}
+
+// Stop halts the loop and waits for the loop goroutine to exit. Pending
+// injected closures that were not yet executed are dropped. Stop is
+// idempotent.
+func (l *Loop) Stop() {
+	l.stopOnce.Do(func() { close(l.stop) })
+	<-l.done
+}
+
+// Elapsed returns the wall time since Start — the loop's target virtual
+// time.
+func (l *Loop) Elapsed() time.Duration { return time.Since(l.started) }
+
+func (l *Loop) run() {
+	defer close(l.done)
+	timer := time.NewTimer(maxIdleWait)
+	defer timer.Stop()
+	for {
+		l.advance()
+		wait := maxIdleWait
+		if next, ok := l.sched.NextEventTime(); ok {
+			until := time.Duration(next) - l.Elapsed()
+			if until < 0 {
+				until = 0
+			}
+			if until < wait {
+				wait = until
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-l.stop:
+			return
+		case fn := <-l.inject:
+			l.advance()
+			fn()
+			l.drain()
+		case <-timer.C:
+		}
+	}
+}
+
+// advance runs every event due at the current wall offset and pins the
+// virtual clock to it.
+func (l *Loop) advance() {
+	l.sched.RunUntil(simtime.Time(l.Elapsed()))
+}
+
+// drain runs already-queued injected closures without sleeping, so a
+// burst of arrivals is processed in one wakeup.
+func (l *Loop) drain() {
+	for {
+		select {
+		case fn := <-l.inject:
+			fn()
+		default:
+			return
+		}
+	}
+}
+
+// ExecTransport wraps a Transport so that every delivered handler runs
+// through an executor — typically Loop.Inject, making deliveries
+// single-threaded on the engine's scheduler goroutine no matter which
+// goroutine the underlying transport delivers on. Sends pass through
+// unchanged. Deliveries the executor refuses (stopped loop) are
+// dropped, which is within the transport's best-effort contract.
+type ExecTransport struct {
+	netsim.Transport
+	Exec func(func()) bool
+}
+
+// SetHandler wraps h so invocations are routed through Exec.
+func (e ExecTransport) SetHandler(node netsim.NodeID, h netsim.Handler) {
+	exec := e.Exec
+	e.Transport.SetHandler(node, func(from netsim.NodeID, payload any) {
+		exec(func() { h(from, payload) })
+	})
+}

@@ -1,0 +1,115 @@
+package rtnet
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fragdb/internal/simtime"
+)
+
+func TestLoopFiresScheduledEvents(t *testing.T) {
+	sched := simtime.NewScheduler(1)
+	l := NewLoop(sched)
+	l.Start()
+	defer l.Stop()
+
+	fired := make(chan simtime.Time, 3)
+	ok := l.Inject(func() {
+		// Schedule out of order; they must fire in virtual-time order.
+		sched.After(20*time.Millisecond, func() { fired <- sched.Now() })
+		sched.After(5*time.Millisecond, func() { fired <- sched.Now() })
+		sched.After(10*time.Millisecond, func() { fired <- sched.Now() })
+	})
+	if !ok {
+		t.Fatal("Inject refused on a running loop")
+	}
+	var times []simtime.Time
+	for i := 0; i < 3; i++ {
+		select {
+		case ts := <-fired:
+			times = append(times, ts)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timer %d never fired", i)
+		}
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Fatalf("events fired out of order: %v", times)
+		}
+	}
+}
+
+func TestLoopClockTracksWall(t *testing.T) {
+	sched := simtime.NewScheduler(1)
+	l := NewLoop(sched)
+	l.Start()
+	defer l.Stop()
+
+	read := func() simtime.Time {
+		ch := make(chan simtime.Time, 1)
+		l.Inject(func() { ch <- sched.Now() })
+		return <-ch
+	}
+	t0 := read()
+	time.Sleep(50 * time.Millisecond)
+	t1 := read()
+	if d := t1.Sub(t0); d < 40*time.Millisecond {
+		t.Fatalf("virtual clock advanced only %v across a 50ms wall sleep", d)
+	}
+}
+
+func TestLoopStopDropsPendingAndRefusesInject(t *testing.T) {
+	sched := simtime.NewScheduler(1)
+	l := NewLoop(sched)
+	l.Start()
+
+	var fired atomic.Int64
+	l.Inject(func() {
+		sched.After(time.Hour, func() { fired.Add(1) })
+	})
+	l.Stop()
+	l.Stop() // idempotent
+	if l.Inject(func() {}) {
+		t.Fatal("Inject accepted after Stop")
+	}
+	if fired.Load() != 0 {
+		t.Fatal("hour-away event fired during Stop")
+	}
+}
+
+// TestLoopInjectConcurrency hammers Inject from many goroutines while
+// the injected closures mutate scheduler-owned state without locks —
+// single-threaded execution on the loop goroutine is what makes that
+// safe. Run under -race.
+func TestLoopInjectConcurrency(t *testing.T) {
+	sched := simtime.NewScheduler(1)
+	l := NewLoop(sched)
+	l.Start()
+
+	counter := 0 // loop-goroutine state: only injected closures touch it
+	const goroutines, per = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Inject(func() { counter++ })
+			}
+		}()
+	}
+	wg.Wait()
+	got := make(chan int, 1)
+	l.Inject(func() { got <- counter })
+	select {
+	case n := <-got:
+		if n != goroutines*per {
+			t.Fatalf("counter = %d, want %d", n, goroutines*per)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("loop never drained the injected closures")
+	}
+	l.Stop()
+}

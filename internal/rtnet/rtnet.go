@@ -30,6 +30,10 @@ type Network struct {
 	down     []bool
 	closed   bool
 
+	// timers holds the delivery timers of undelivered messages, so
+	// Close can cancel them instead of waiting out their latency.
+	timers map[*time.Timer]struct{}
+
 	// inflight tracks undelivered messages so Close can drain.
 	inflight sync.WaitGroup
 }
@@ -45,6 +49,7 @@ func New(n int, latency time.Duration) *Network {
 		latency:  latency,
 		handlers: make([]netsim.Handler, n),
 		down:     make([]bool, n),
+		timers:   make(map[*time.Timer]struct{}),
 	}
 	nw.cut = make([][]bool, n)
 	for i := range nw.cut {
@@ -67,33 +72,38 @@ func (nw *Network) SetHandler(node netsim.NodeID, h netsim.Handler) {
 // Send transmits payload after the configured latency. Messages across
 // severed links or to/from down nodes are dropped, as in netsim.
 func (nw *Network) Send(from, to netsim.NodeID, payload any) {
-	nw.mu.RLock()
+	nw.mu.Lock()
 	ok := !nw.closed && !nw.down[from] && !nw.down[to] &&
 		(from == to || !nw.cut[from][to])
-	if ok {
-		// Register the in-flight delivery while still holding the lock
-		// that proved closed==false: the Add then happens-before Close's
-		// exclusive Lock, so Close's Wait cannot have started yet
-		// (Add-after-Wait is a WaitGroup misuse and raced under -race).
-		// Add never blocks, so holding RLock here is lockedsend-clean;
-		// do not move the Add after the RUnlock.
-		nw.inflight.Add(1)
-	}
-	nw.mu.RUnlock()
 	if !ok {
+		nw.mu.Unlock()
 		return
 	}
-	time.AfterFunc(nw.latency, func() {
+	// Register the in-flight delivery while still holding the lock that
+	// proved closed==false: the Add then happens-before Close's
+	// exclusive Lock, so Close's Wait cannot have started yet
+	// (Add-after-Wait is a WaitGroup misuse and raced under -race).
+	// Add and AfterFunc never block, so holding the lock here is
+	// lockedsend-clean; do not move them after the Unlock.
+	nw.inflight.Add(1)
+	var tm *time.Timer
+	tm = time.AfterFunc(nw.latency, func() {
 		defer nw.inflight.Done()
-		nw.mu.RLock()
+		nw.mu.Lock()
+		delete(nw.timers, tm)
 		h := nw.handlers[to]
 		dropped := nw.closed || nw.down[to]
-		nw.mu.RUnlock()
+		nw.mu.Unlock()
 		if h == nil || dropped {
 			return
 		}
 		h(from, payload)
 	})
+	// The callback locks mu before touching nw.timers, so even a
+	// zero-latency timer that has already fired on its own goroutine
+	// cannot observe the map before this insert.
+	nw.timers[tm] = struct{}{}
+	nw.mu.Unlock()
 }
 
 // SetLink severs (up=false) or restores (up=true) the link a-b.
@@ -177,14 +187,31 @@ func (nw *Network) Reachable(a, b netsim.NodeID) bool {
 	return false
 }
 
-// Close stops accepting new messages and waits for in-flight
-// deliveries to finish or drop.
+// Close stops accepting new messages, cancels undelivered ones, and
+// waits for deliveries already in their handlers to finish. When Close
+// returns, it is guaranteed that no handler invocation begins
+// afterwards: undelivered timers were either stopped here (their
+// callbacks will never run) or are completing their callbacks, which
+// the WaitGroup drains — a delivery goroutine that passed the
+// closed-check before Close can therefore still run its handler
+// concurrently with Close, but never after it returns. Close is
+// idempotent.
 func (nw *Network) Close() {
 	nw.mu.Lock()
 	nw.closed = true
+	for tm := range nw.timers {
+		if tm.Stop() {
+			// Stopped before firing: the callback will never run, so its
+			// Done is ours to emit. Timers whose Stop fails are already
+			// in (or entering) their callbacks; they observe closed=true
+			// under mu and drop, and Wait covers their Done.
+			delete(nw.timers, tm)
+			nw.inflight.Done()
+		}
+	}
 	// Unlock before Wait: blocking on the WaitGroup while holding mu
-	// would deadlock against delivery callbacks taking RLock, and is the
-	// exact shape halint's lockedsend analyzer exists to flag.
+	// would deadlock against delivery callbacks taking the lock, and is
+	// the exact shape halint's lockedsend analyzer exists to flag.
 	nw.mu.Unlock()
 	nw.inflight.Wait()
 }

@@ -243,3 +243,65 @@ func TestRealTimeGossipConcurrency(t *testing.T) {
 		t.Fatal("real-time cluster did not converge")
 	}
 }
+
+// TestCloseCancelsPending pins the stronger Close contract: messages
+// whose delivery timers have not fired are cancelled outright, so Close
+// returns promptly instead of waiting out the latency, and no handler
+// invocation begins after Close returns. The one-hour latency makes the
+// test hang (not merely flake) if Close regresses to draining timers.
+func TestCloseCancelsPending(t *testing.T) {
+	nw := New(2, time.Hour)
+	var fired atomic.Int64
+	nw.SetHandler(1, func(from netsim.NodeID, payload any) { fired.Add(1) })
+	for i := 0; i < 1000; i++ {
+		nw.Send(0, 1, i)
+	}
+	start := time.Now()
+	nw.Close()
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("Close took %v with pending hour-latency deliveries", d)
+	}
+	if n := fired.Load(); n != 0 {
+		t.Fatalf("%d handlers fired despite hour latency", n)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if n := fired.Load(); n != 0 {
+		t.Fatalf("%d handlers fired after Close returned", n)
+	}
+}
+
+// TestCloseIdempotent calls Close twice sequentially and many times
+// concurrently with a send load; every call must return and the
+// no-handler-after-Close guarantee must hold for the first return.
+// Run under -race.
+func TestCloseIdempotent(t *testing.T) {
+	nw := New(2, 50*time.Microsecond)
+	var closed atomic.Bool
+	nw.SetHandler(1, func(from netsim.NodeID, payload any) {
+		if closed.Load() {
+			t.Error("handler ran after Close returned")
+		}
+	})
+	var senders sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		senders.Add(1)
+		go func() {
+			defer senders.Done()
+			for i := 0; i < 500; i++ {
+				nw.Send(0, 1, i)
+			}
+		}()
+	}
+	var closers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		closers.Add(1)
+		go func() {
+			defer closers.Done()
+			nw.Close()
+		}()
+	}
+	closers.Wait()
+	closed.Store(true)
+	senders.Wait()
+	nw.Close()
+}

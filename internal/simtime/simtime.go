@@ -143,6 +143,17 @@ func (s *Scheduler) Cancel(e *Event) bool {
 	return true
 }
 
+// NextEventTime returns the firing time of the earliest pending event.
+// The second result is false when no events are pending. Real-time
+// drivers use this to sleep exactly until the next due event instead of
+// polling.
+func (s *Scheduler) NextEventTime() (Time, bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].when, true
+}
+
 // Step executes the single earliest pending event, advancing the clock
 // to its firing time. It reports whether an event was executed.
 func (s *Scheduler) Step() bool {

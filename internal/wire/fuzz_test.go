@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"fragdb/internal/broadcast"
@@ -48,6 +49,13 @@ func FuzzDecode(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0x00, 0x01})
+	// Hostile length fields: each declares vastly more elements or bytes
+	// than the buffer holds. The bounds-checked reader must reject them
+	// (count/str validate against the remaining input before allocating);
+	// these pin the untrusted-input contract the TCP transport relies on.
+	for _, hostile := range hostileLengthCorpus() {
+		f.Add(hostile)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<16 {
 			return // gob can allocate proportionally; bound the input
@@ -74,6 +82,51 @@ func FuzzDecode(f *testing.F) {
 			t.Fatalf("unstable encoding for %T:\n%x\n%x", v, b2, b3)
 		}
 	})
+}
+
+// hostileLengthCorpus builds short buffers whose internal length and
+// count fields declare sizes far beyond the buffer: oversized string
+// lengths, write counts, batch counts, digest counts, plus truncations
+// of a valid message at every prefix-interesting point.
+func hostileLengthCorpus() [][]byte {
+	big := binary.AppendUvarint(nil, 1<<60)
+	var out [][]byte
+	// tagQuasi, origin 0, seq 0, then a fragment-name length of 2^60.
+	out = append(out, append([]byte{tagQuasi, 0x00, 0x00}, big...))
+	// tagQuasi with a valid empty fragment but a 2^60 write count:
+	// origin, seq, fragment len 0, epoch, seq, home, stamp, count.
+	q := []byte{tagQuasi, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00}
+	out = append(out, append(q, big...))
+	// tagBatch declaring 2^60 payloads.
+	out = append(out, append([]byte{tagBatch, 0x00, 0x00}, big...))
+	// tagDigest declaring 2^60 Have entries.
+	out = append(out, append([]byte{tagDigest, 0x01}, big...))
+	// tagData whose string value declares 2^60 bytes.
+	out = append(out, append([]byte{tagData, 0x00, 0x00, valString}, big...))
+	// Truncations of a real message at every length.
+	full, err := Encode(corpusPayloads()[0])
+	if err == nil {
+		for i := 1; i < len(full); i += 3 {
+			out = append(out, full[:i])
+		}
+	}
+	return out
+}
+
+// TestHostileLengthsRejected runs the hostile corpus directly (the
+// fuzzer seeds are only exercised under -fuzz): every entry must be
+// rejected with an error, not a panic or a giant allocation.
+func TestHostileLengthsRejected(t *testing.T) {
+	for i, b := range hostileLengthCorpus() {
+		if v, err := Decode(b); err == nil {
+			// Truncated prefixes can legitimately decode when the cut
+			// lands on a message boundary; hostile declared-length
+			// entries never can.
+			if i < 5 {
+				t.Errorf("hostile entry %d (%x) decoded to %T, want error", i, b, v)
+			}
+		}
+	}
 }
 
 // TestEncodedCorpusRoundTrips keeps the corpus honest as a plain test:

@@ -60,6 +60,12 @@ type BankConfig struct {
 	// losing availability whenever the central office is unreachable.
 	// Used by experiment E1 to plot the spectrum.
 	ReadLockOption bool
+	// Schema, when set, is invoked on the cluster after the bank's own
+	// fragments are declared and before Start — the hook for embedding
+	// the bank in a larger database (the live workload adds its counter
+	// and queue fragments here). Every process of a multi-process
+	// deployment must declare the identical schema.
+	Schema func(cl *core.Cluster) error
 }
 
 // Letter records an overdraft notification "sent" to a customer by the
@@ -153,6 +159,11 @@ func NewBank(cfg BankConfig) (*Bank, error) {
 		// ACTIVITY transactions only create new entries: write-only and
 		// commutative, so customers can move freely (Section 4.4.2A).
 		cl.SetCommutative(activityFragment(acct))
+	}
+	if cfg.Schema != nil {
+		if err := cfg.Schema(cl); err != nil {
+			return nil, err
+		}
 	}
 	if err := cl.Start(); err != nil {
 		return nil, err

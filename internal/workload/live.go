@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"fmt"
+
+	"fragdb/internal/core"
+	"fragdb/internal/fragments"
+	"fragdb/internal/netsim"
+)
+
+// Live is the deployment workload: the Section 2 bank plus, per node, a
+// commutative counter fragment and a commutative queue fragment. The
+// three client kinds span the availability spectrum the paper predicts:
+//
+//   - bank withdrawals read the BALANCES fragment, so their
+//     availability depends on the control option (remote locks at the
+//     central office under ReadLocks; local possibly-stale reads under
+//     UnrestrictedReads);
+//   - bank deposits, counter bumps, and queue appends are write-only on
+//     a locally homed commutative fragment — available whenever the
+//     local node is up, no matter what the rest of the cluster does.
+//
+// Every process of a multi-process deployment builds the identical
+// schema from the same LiveConfig; each then submits only at its own
+// node.
+type Live struct {
+	*Bank
+	n int
+
+	// seq generates unique entry keys per local fragment. Touched only
+	// from engine context (the scheduler goroutine / loop), like the
+	// bank's own sequence map.
+	seq map[fragments.FragmentID]uint64
+}
+
+// LiveConfig configures a Live workload.
+type LiveConfig struct {
+	// Cluster is the engine configuration, including Transport /
+	// SingleNode / LocalNode for a real deployment.
+	Cluster core.Config
+	// CentralNode hosts the bank's central office.
+	CentralNode netsim.NodeID
+	// Accounts is how many bank accounts to create (default 2 per
+	// node), homed round-robin across nodes.
+	Accounts int
+	// InitialBalance and OverdraftFine as in BankConfig (defaults 1000
+	// and 25).
+	InitialBalance int64
+	OverdraftFine  int64
+	// ReadLockOption selects the Section 4.1 control option for the
+	// bank instead of Section 4.3.
+	ReadLockOption bool
+	// AcyclicOption runs withdrawals lock-free under the Section 4.2
+	// option by declaring the ACTIVITY→BALANCES read edges (customers
+	// read the balance; the central office's BALANCES transactions read
+	// ACTIVITY, which is the cyclic direction, so the office keeps the
+	// unrestricted policy via a per-fragment override).
+	AcyclicOption bool
+}
+
+// LiveAccount names account i of a Live workload.
+func LiveAccount(i int) string { return fmt.Sprintf("A%02d", i) }
+
+func counterFragment(node netsim.NodeID) fragments.FragmentID {
+	return fragments.FragmentID(fmt.Sprintf("CTR(%d)", int(node)))
+}
+
+func queueFragment(node netsim.NodeID) fragments.FragmentID {
+	return fragments.FragmentID(fmt.Sprintf("QUEUE(%d)", int(node)))
+}
+
+func counterAgent(node netsim.NodeID) fragments.AgentID {
+	return fragments.AgentID(fmt.Sprintf("ctr:%d", int(node)))
+}
+
+func queueAgent(node netsim.NodeID) fragments.AgentID {
+	return fragments.AgentID(fmt.Sprintf("q:%d", int(node)))
+}
+
+// NewLive builds and starts the live workload's cluster.
+func NewLive(cfg LiveConfig) (*Live, error) {
+	n := cfg.Cluster.N
+	if cfg.Accounts <= 0 {
+		cfg.Accounts = 2 * n
+	}
+	if cfg.InitialBalance == 0 {
+		cfg.InitialBalance = 1000
+	}
+	if cfg.OverdraftFine == 0 {
+		cfg.OverdraftFine = 25
+	}
+	bcfg := BankConfig{
+		Cluster:        cfg.Cluster,
+		CentralNode:    cfg.CentralNode,
+		InitialBalance: cfg.InitialBalance,
+		OverdraftFine:  cfg.OverdraftFine,
+		ReadLockOption: cfg.ReadLockOption,
+		CustomerHome:   make(map[string]netsim.NodeID),
+	}
+	for i := 0; i < cfg.Accounts; i++ {
+		acct := LiveAccount(i)
+		bcfg.Accounts = append(bcfg.Accounts, acct)
+		bcfg.CustomerHome[acct] = netsim.NodeID(i % n)
+	}
+	bcfg.Schema = func(cl *core.Cluster) error {
+		for i := 0; i < n; i++ {
+			node := netsim.NodeID(i)
+			for _, f := range []fragments.FragmentID{counterFragment(node), queueFragment(node)} {
+				if err := cl.Catalog().AddFragment(f); err != nil {
+					return err
+				}
+				cl.SetCommutative(f)
+			}
+			cl.Tokens().Assign(counterFragment(node), counterAgent(node), node)
+			cl.Tokens().Assign(queueFragment(node), queueAgent(node), node)
+		}
+		if cfg.AcyclicOption {
+			// Customers read BALANCES: the declared, elementarily acyclic
+			// direction. The office's own transaction types keep the
+			// unrestricted policy (their ACTIVITY reads close the cycle).
+			for _, acct := range bcfg.Accounts {
+				cl.DeclareRead(activityFragment(acct), "BALANCES")
+				cl.SetFragmentOption(activityFragment(acct), core.AcyclicReads)
+			}
+		}
+		return nil
+	}
+	if cfg.AcyclicOption {
+		bcfg.ReadLockOption = false // base option stays unrestricted
+	}
+	b, err := NewBank(bcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Live{Bank: b, n: n, seq: make(map[fragments.FragmentID]uint64)}, nil
+}
+
+// next returns a fresh entry key for the node-local fragment f.
+func (lv *Live) next(f fragments.FragmentID, node netsim.NodeID) fragments.ObjectID {
+	lv.seq[f]++
+	return fragments.ObjectID(fmt.Sprintf("%s:%d:%d", f, int(node), lv.seq[f]))
+}
+
+// Bump submits a counter increment at the node (write-only commutative:
+// a new entry with the increment value).
+func (lv *Live) Bump(node netsim.NodeID, by int64, done func(core.TxnResult)) {
+	f := counterFragment(node)
+	entry := lv.next(f, node)
+	lv.Cluster().Node(node).Submit(core.TxnSpec{
+		Agent:    counterAgent(node),
+		Fragment: f,
+		Label:    "bump",
+		Program: func(tx *core.Tx) error {
+			return tx.Write(entry, by)
+		},
+	}, done)
+}
+
+// Enqueue appends an item to the node's queue fragment.
+func (lv *Live) Enqueue(node netsim.NodeID, item string, done func(core.TxnResult)) {
+	f := queueFragment(node)
+	entry := lv.next(f, node)
+	lv.Cluster().Node(node).Submit(core.TxnSpec{
+		Agent:    queueAgent(node),
+		Fragment: f,
+		Label:    "enqueue",
+		Program: func(tx *core.Tx) error {
+			return tx.Write(entry, item)
+		},
+	}, done)
+}
+
+// CounterTotal sums every counter entry replicated at the node.
+func (lv *Live) CounterTotal(at netsim.NodeID) int64 {
+	var total int64
+	store := lv.Cluster().Node(at).Store()
+	for i := 0; i < lv.n; i++ {
+		frag, ok := lv.Cluster().Catalog().Fragment(counterFragment(netsim.NodeID(i)))
+		if !ok {
+			continue
+		}
+		for _, o := range frag.Objects() {
+			if v, known := store.Get(o); known {
+				if inc, ok := v.(int64); ok {
+					total += inc
+				}
+			}
+		}
+	}
+	return total
+}
+
+// QueueLen counts every queue entry replicated at the node.
+func (lv *Live) QueueLen(at netsim.NodeID) int {
+	count := 0
+	store := lv.Cluster().Node(at).Store()
+	for i := 0; i < lv.n; i++ {
+		frag, ok := lv.Cluster().Catalog().Fragment(queueFragment(netsim.NodeID(i)))
+		if !ok {
+			continue
+		}
+		for _, o := range frag.Objects() {
+			if _, known := store.Get(o); known {
+				count++
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fragdb/internal/core"
+	"fragdb/internal/netsim"
+)
+
+// TestLiveAllOptions runs the deployment workload (bank + counters +
+// queues) on the simulator under each control option: after a burst of
+// mixed traffic and a settle, replicas must be mutually consistent, the
+// commutative totals must equal the committed operations, and the money
+// must add up.
+func TestLiveAllOptions(t *testing.T) {
+	options := []struct {
+		name     string
+		readLock bool
+		acyclic  bool
+	}{
+		{"unrestricted", false, false},
+		{"read-locks", true, false},
+		{"acyclic-reads", false, true},
+	}
+	for _, opt := range options {
+		opt := opt
+		t.Run(opt.name, func(t *testing.T) {
+			const n = 3
+			lv, err := NewLive(LiveConfig{
+				Cluster:        core.Config{N: n, Seed: 7},
+				CentralNode:    0,
+				Accounts:       n,
+				InitialBalance: 1000,
+				OverdraftFine:  25,
+				ReadLockOption: opt.readLock,
+				AcyclicOption:  opt.acyclic,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cl := lv.Cluster()
+
+			var committedDeposits, committedWithdrawals int64
+			commits := 0
+			count := func(delta *int64, amt int64) func(core.TxnResult) {
+				return func(r core.TxnResult) {
+					if r.Committed {
+						commits++
+						*delta += amt
+					}
+				}
+			}
+			var bumps int64
+			enqueues := 0
+			for round := 0; round < 10; round++ {
+				for i := 0; i < n; i++ {
+					node := netsim.NodeID(i)
+					acct := LiveAccount(i)
+					lv.Deposit(node, acct, 50, count(&committedDeposits, 50))
+					lv.Withdraw(node, acct, 30, count(&committedWithdrawals, 30))
+					lv.Bump(node, 1, func(r core.TxnResult) {
+						if r.Committed {
+							bumps++
+						}
+					})
+					lv.Enqueue(node, fmt.Sprintf("item-%d-%d", round, i), func(r core.TxnResult) {
+						if r.Committed {
+							enqueues++
+						}
+					})
+					cl.RunFor(5 * time.Millisecond)
+				}
+			}
+			if !cl.Settle(60 * time.Second) {
+				t.Fatal("live workload did not settle")
+			}
+			if err := cl.CheckMutualConsistency(); err != nil {
+				t.Fatal(err)
+			}
+			if commits == 0 {
+				t.Fatal("no bank operations committed")
+			}
+			// Commutative totals visible at every node.
+			for i := 0; i < n; i++ {
+				node := netsim.NodeID(i)
+				if got := lv.CounterTotal(node); got != bumps {
+					t.Errorf("node %d counter total = %d, want %d", i, got, bumps)
+				}
+				if got := lv.QueueLen(node); got != enqueues {
+					t.Errorf("node %d queue length = %d, want %d", i, got, enqueues)
+				}
+			}
+			// Money conservation: total balances = initial + deposits -
+			// withdrawals - fines.
+			var total int64
+			for i := 0; i < n; i++ {
+				total += lv.Balance(0, LiveAccount(i))
+			}
+			var fines int64
+			for _, l := range lv.Letters() {
+				fines += l.Fine
+			}
+			want := int64(n)*1000 + committedDeposits - committedWithdrawals - fines
+			if total != want {
+				t.Errorf("total balances = %d, want %d (deposits %d, withdrawals %d, fines %d)",
+					total, want, committedDeposits, committedWithdrawals, fines)
+			}
+		})
+	}
+}

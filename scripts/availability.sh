@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# availability.sh — the paper's availability experiment on a real
+# cluster. For each control option it starts a 3-process cluster,
+# drives it with closed-loop load for 45s, and injects two faults
+# mid-run:
+#
+#   t=10s  kill -9 node 2          (a leaf node dies without warning)
+#   t=18s  restart node 2          (it rejoins and catches up)
+#   t=26s  partition node 0        (the central office is isolated by
+#                                   transport drop rules on both sides)
+#   t=34s  heal the partition
+#
+# The per-second commits/aborts timeline lands in
+# $RUNDIR/<option>.json; the per-phase summary table is printed and
+# written to $RUNDIR/availability.md. Expectation (paper §4): write-only
+# commutative traffic and unrestricted reads ride through the central
+# office partition, while read-locks traffic aborts on it.
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+export RUNDIR="${RUNDIR:-/tmp/fragdb-avail}"
+CLUSTER="$REPO/scripts/cluster.sh"
+TARGETS=127.0.0.1:8100,127.0.0.1:8101,127.0.0.1:8102
+OPTIONS=${OPTIONS:-"unrestricted read-locks acyclic-reads"}
+DURATION=45
+trap '"$CLUSTER" stop >/dev/null 2>&1 || true' EXIT
+
+mkdir -p "$RUNDIR"
+(cd "$REPO" && go build -o "$RUNDIR/haload" ./cmd/haload)
+
+run_option() {
+  local option="$1"
+  echo "=== option: $option"
+  "$CLUSTER" start 3 "$option"
+  "$RUNDIR/haload" -targets "$TARGETS" -clients 24 -duration ${DURATION}s \
+    -quiet -out "$RUNDIR/$option.json" &
+  local load_pid=$!
+  sleep 10
+  "$CLUSTER" kill9 2
+  sleep 8
+  "$CLUSTER" restart 2
+  sleep 8
+  "$CLUSTER" partition 0 1
+  sleep 8
+  "$CLUSTER" partition 0 0
+  wait "$load_pid"
+  "$CLUSTER" stop
+  sleep 1
+}
+
+# summarize <option.json>: per-phase mean commits/s and aborts/s from
+# the timeline. Tick objects are the only place "second" appears, and
+# within one the fields arrive in order second, committed, aborted.
+summarize() {
+  awk '
+    function phase(s) {
+      if (s <= 10) return "healthy";
+      if (s <= 18) return "node 2 down (kill -9)";
+      if (s <= 26) return "node 2 recovering";
+      if (s <= 34) return "central office partitioned";
+      return "healed";
+    }
+    /"second":/   { sec = $2 + 0; intick = 1; next }
+    /"committed":/ { if (intick) c = $2 + 0; next }
+    /"aborted":/  { if (intick) a = $2 + 0; next }
+    /"failed":/   {
+      if (!intick) next
+      p = phase(sec)
+      commits[p] += c; aborts[p] += a; fails[p] += $2 + 0; n[p]++
+      intick = 0
+    }
+    END {
+      split("healthy|node 2 down (kill -9)|node 2 recovering|central office partitioned|healed", ph, "|")
+      for (i = 1; i <= 5; i++) {
+        p = ph[i]
+        if (n[p] == 0) continue
+        printf "%s;%.0f;%.0f;%.0f\n", p, commits[p] / n[p], aborts[p] / n[p], fails[p] / n[p]
+      }
+    }
+  ' "$1"
+}
+
+MD="$RUNDIR/availability.md"
+{
+  echo "| Phase | Option | Commits/s | Aborts/s | Failed/s |"
+  echo "|---|---|---:|---:|---:|"
+} >"$MD"
+
+for option in $OPTIONS; do
+  run_option "$option"
+  summarize "$RUNDIR/$option.json" |
+    while IFS=';' read -r phase commits aborts fails; do
+      echo "| $phase | $option | $commits | $aborts | $fails |" >>"$MD"
+    done
+done
+
+echo
+echo "=== availability summary ($RUNDIR/availability.md):"
+cat "$MD"

@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# cluster.sh — launch and manage a local multi-process fragdb cluster.
+#
+#   scripts/cluster.sh start [n] [option]   start n hanode processes
+#                                           (default 3, unrestricted)
+#   scripts/cluster.sh stop                 SIGTERM every node
+#   scripts/cluster.sh kill9 <id>           kill -9 one node
+#   scripts/cluster.sh restart <id>         relaunch a killed node
+#   scripts/cluster.sh drop <id> <peer> <1|0>  set/clear a drop rule
+#   scripts/cluster.sh partition <id> <1|0> isolate/heal node <id>
+#                                           (drop rules on both sides)
+#   scripts/cluster.sh status               per-node /healthz
+#
+# State (pids, logs, the built hanode binary) lives in $RUNDIR, default
+# /tmp/fragdb-cluster. Engine ports start at $ENGINE_BASE (7100), HTTP
+# ports at $HTTP_BASE (8100).
+set -euo pipefail
+
+RUNDIR="${RUNDIR:-/tmp/fragdb-cluster}"
+ENGINE_BASE="${ENGINE_BASE:-7100}"
+HTTP_BASE="${HTTP_BASE:-8100}"
+HOST=127.0.0.1
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+
+engine_addr() { echo "$HOST:$((ENGINE_BASE + $1))"; }
+http_addr()   { echo "$HOST:$((HTTP_BASE + $1))"; }
+
+peers_list() {
+  local n="$1" out="" i
+  for ((i = 0; i < n; i++)); do
+    out+="${out:+,}$(engine_addr "$i")"
+  done
+  echo "$out"
+}
+
+launch_node() {
+  local id="$1" n="$2" option="$3"
+  "$RUNDIR/hanode" \
+    -id "$id" \
+    -peers "$(peers_list "$n")" \
+    -http "$(http_addr "$id")" \
+    -option "$option" \
+    >>"$RUNDIR/node$id.log" 2>&1 &
+  echo $! >"$RUNDIR/node$id.pid"
+}
+
+cmd_start() {
+  local n="${1:-3}" option="${2:-unrestricted}"
+  mkdir -p "$RUNDIR"
+  rm -f "$RUNDIR"/node*.pid "$RUNDIR"/node*.log
+  echo "$n" >"$RUNDIR/n"
+  echo "$option" >"$RUNDIR/option"
+  (cd "$REPO" && go build -o "$RUNDIR/hanode" ./cmd/hanode)
+  local i
+  for ((i = 0; i < n; i++)); do
+    launch_node "$i" "$n" "$option"
+  done
+  # Wait for every HTTP endpoint to answer.
+  for ((i = 0; i < n; i++)); do
+    for _ in $(seq 1 50); do
+      curl -fsS "http://$(http_addr "$i")/healthz" >/dev/null 2>&1 && break
+      sleep 0.1
+    done
+  done
+  echo "cluster up: $n nodes, option=$option, http $(http_addr 0)..$(http_addr $((n - 1)))"
+}
+
+cmd_stop() {
+  local pidfile pid
+  for pidfile in "$RUNDIR"/node*.pid; do
+    [ -e "$pidfile" ] || continue
+    pid=$(cat "$pidfile")
+    kill "$pid" 2>/dev/null || true
+    rm -f "$pidfile"
+  done
+  echo "cluster stopped"
+}
+
+cmd_kill9() {
+  local id="$1" pid
+  pid=$(cat "$RUNDIR/node$id.pid")
+  kill -9 "$pid"
+  echo "node $id killed (pid $pid)"
+}
+
+cmd_restart() {
+  local id="$1"
+  launch_node "$id" "$(cat "$RUNDIR/n")" "$(cat "$RUNDIR/option")"
+  echo "node $id relaunched (pid $(cat "$RUNDIR/node$id.pid"))"
+}
+
+cmd_drop() {
+  local id="$1" peer="$2" drop="$3"
+  curl -fsS -X POST "http://$(http_addr "$id")/admin/drop?peer=$peer&drop=$drop"
+}
+
+cmd_partition() {
+  local id="$1" drop="$2" n i
+  n=$(cat "$RUNDIR/n")
+  for ((i = 0; i < n; i++)); do
+    [ "$i" = "$id" ] && continue
+    cmd_drop "$id" "$i" "$drop" || true
+    cmd_drop "$i" "$id" "$drop" || true
+  done
+  if [ "$drop" = 1 ]; then
+    echo "node $id isolated"
+  else
+    echo "node $id healed"
+  fi
+}
+
+cmd_status() {
+  local n i
+  n=$(cat "$RUNDIR/n")
+  for ((i = 0; i < n; i++)); do
+    echo "--- node $i ($(http_addr "$i")):"
+    curl -fsS "http://$(http_addr "$i")/healthz" 2>/dev/null || echo "  unreachable"
+  done
+}
+
+case "${1:-}" in
+start)     shift; cmd_start "$@" ;;
+stop)      shift; cmd_stop ;;
+kill9)     shift; cmd_kill9 "$@" ;;
+restart)   shift; cmd_restart "$@" ;;
+drop)      shift; cmd_drop "$@" ;;
+partition) shift; cmd_partition "$@" ;;
+status)    shift; cmd_status ;;
+*)
+  sed -n '2,16p' "$0"
+  exit 2
+  ;;
+esac
