@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"fragdb/internal/metrics"
+	"fragdb/internal/obs"
 )
 
 type opKind int
@@ -105,6 +106,8 @@ func main() {
 		mixSpec  = flag.String("mix", "deposit=4,withdraw=4,bump=1,enqueue=1", "operation mix weights")
 		accounts = flag.Int("accounts", 0, "accounts per cluster (default 2 per node)")
 		outPath  = flag.String("out", "", "write a JSON report to this file")
+		benchOut = flag.String("bench-out", "", "also write the run as a fragdb-bench trajectory artifact (BENCH_prN.json)")
+		benchPR  = flag.Int("bench-pr", 0, "PR number stamped into the -bench-out artifact")
 		quiet    = flag.Bool("quiet", false, "suppress the per-second timeline on stderr")
 	)
 	flag.Parse()
@@ -212,6 +215,39 @@ func main() {
 			log.Fatalf("haload: writing report: %v", err)
 		}
 	}
+	if *benchOut != "" {
+		if err := writeBenchArtifact(*benchOut, *benchPR, rep); err != nil {
+			log.Fatalf("haload: writing bench artifact: %v", err)
+		}
+	}
+}
+
+// writeBenchArtifact renders the run under the same versioned schema
+// CI's go-bench conversion uses, so load-harness runs and
+// micro-benchmarks land in one trend-friendly format.
+func writeBenchArtifact(path string, pr int, rep report) error {
+	name := fmt.Sprintf("HaloadLive/clients=%d", rep.Clients)
+	if rep.Rate > 0 {
+		name = fmt.Sprintf("HaloadLive/rate=%g", rep.Rate)
+	}
+	bf := obs.NewBenchFile(pr, "haload", "", time.Now().UnixMilli(), []obs.BenchResult{{
+		Name:  name,
+		Iters: int64(rep.Committed + rep.Aborted),
+		Metrics: map[string]float64{
+			"commits/s": rep.CommitsPS,
+			"aborts":    float64(rep.Aborted),
+			"failed":    float64(rep.Failed),
+			"p50-ms":    rep.P50MS,
+			"p95-ms":    rep.P95MS,
+			"p99-ms":    rep.P99MS,
+			"mean-ms":   rep.MeanMS,
+		},
+	}})
+	buf, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 // parseMix turns "deposit=4,withdraw=4,bump=1,enqueue=1" into a weighted

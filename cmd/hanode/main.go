@@ -9,15 +9,18 @@
 //
 // HTTP endpoints:
 //
-//	POST /tx          submit one operation (JSON: kind, account, amount,
-//	                  item) and wait for its outcome
-//	GET  /metrics     Prometheus text: engine counters, latency
-//	                  histograms, broadcast gauges, transport counters
-//	GET  /trace       flight-recorder tail (JSON)
-//	GET  /healthz     node id, option, and per-peer connectivity
-//	GET  /state       local view: balances, counter total, queue length
-//	POST /admin/drop  ?peer=N&drop=1|0 — install or clear a partition
-//	                  drop rule on the transport (fault injection)
+//	POST /tx            submit one operation (JSON: kind, account,
+//	                    amount, item) and wait for its outcome
+//	GET  /metrics       Prometheus text: engine counters, latency
+//	                    histograms, broadcast gauges, the labeled
+//	                    per-fragment registry (frag_*_total, frag_info),
+//	                    and Go runtime gauges (goroutines, heap, GC)
+//	GET  /trace         flight-recorder tail (JSON; ?n=M for tail size)
+//	GET  /healthz       node id, option, and per-peer connectivity
+//	GET  /state         local view: balances, counter total, queue length
+//	POST /admin/drop    ?peer=N&drop=1|0 — install or clear a partition
+//	                    drop rule on the transport (fault injection)
+//	GET  /debug/pprof/  Go pprof profiles (heap, goroutine, profile, ...)
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -51,6 +55,7 @@ func main() {
 		majority   = flag.Bool("majority", false, "enable majority commit for non-commutative transactions")
 		opLatency  = flag.Duration("oplatency", 0, "virtual cost per transaction operation (default 100µs)")
 		txnTimeout = flag.Duration("txntimeout", 0, "transaction timeout (default 2s)")
+		traceCap   = flag.Int("trace", 0, "flight-recorder ring size in events (default 4096; negative disables)")
 	)
 	flag.Parse()
 
@@ -68,6 +73,7 @@ func main() {
 		MajorityCommit: *majority,
 		OpLatency:      *opLatency,
 		TxnTimeout:     *txnTimeout,
+		TraceCap:       *traceCap,
 	})
 	if err != nil {
 		log.Fatalf("hanode: %v", err)
@@ -75,12 +81,18 @@ func main() {
 	defer node.Close()
 
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", rtnet.NewDebugHandler(node.DebugVars()))
-	mux.Handle("/trace", rtnet.NewDebugHandler(node.DebugVars()))
+	debug := rtnet.NewDebugHandler(node.DebugVars())
+	mux.Handle("/metrics", debug)
+	mux.Handle("/trace", debug)
 	mux.HandleFunc("/tx", func(w http.ResponseWriter, r *http.Request) { serveTx(w, r, node) })
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) { serveHealth(w, node, *option) })
 	mux.HandleFunc("/state", func(w http.ResponseWriter, r *http.Request) { serveState(w, node) })
 	mux.HandleFunc("/admin/drop", func(w http.ResponseWriter, r *http.Request) { serveDrop(w, r, node) })
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
 	srv := &http.Server{Addr: *httpAddr, Handler: mux}
 	go func() {

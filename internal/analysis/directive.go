@@ -17,6 +17,10 @@ import (
 //	//halint:exhaustive <TypeName>
 //	    on the line above a switch statement, makes traceexhaustive
 //	    require a case for every constant of that type.
+//	//halint:metricexporter <pkg>
+//	    on a function declaration, marks it as the Prometheus exporter
+//	    for the named package's Fam* metric families; metricexported
+//	    requires it to reference every one.
 const directivePrefix = "//halint:"
 
 type directive struct {
@@ -119,7 +123,7 @@ func DirectiveDiagnostics(prog *Program) []Diagnostic {
 							Message:  `allow directive needs a justification: //halint:allow <analyzer> -- <why>`,
 						})
 					}
-				case "blocking", "exhaustive":
+				case "blocking", "exhaustive", "metricexporter":
 					// shape checked by their consumers
 				default:
 					diags = append(diags, Diagnostic{

@@ -1,0 +1,217 @@
+// Package metricexported checks that every metric family a metrics
+// registry declares is actually rendered by a Prometheus exporter.
+// PR 8's labeled registry made this a real invariant: a family that is
+// incremented by the engine but never written by the exporter is
+// silently invisible to every dashboard and to haobs — the worst kind
+// of observability bug, because nothing fails.
+//
+// The contract is declared in the source:
+//
+//   - A metrics package declares its families as exported string
+//     constants named Fam* ("family"): FamFragReads = "frag_reads_total".
+//
+//   - The exporter function is marked with a directive naming the
+//     package whose families it renders:
+//
+//     //halint:metricexporter metrics
+//
+// Two rules are enforced:
+//
+//  1. A marked exporter must reference every Fam* constant of the
+//     named package (by selector, e.g. metrics.FamFragReads). A family
+//     added to the registry but forgotten in the exporter is reported
+//     at the exporter's declaration.
+//  2. A package that declares Fam* constants must have a marked
+//     exporter somewhere in the program. A registry with no exporter
+//     at all is reported at its first family constant.
+package metricexported
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+	"sync"
+
+	"fragdb/internal/analysis"
+)
+
+// Analyzer is the metricexported checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricexported",
+	Doc:  "every Fam* metric family must be rendered by a //halint:metricexporter function",
+	Run:  run,
+}
+
+const directive = "//halint:metricexporter"
+
+// famDecl is one package's family-constant declarations.
+type famDecl struct {
+	pkgName string // last path segment, the name exporters use
+	names   []string
+	pos     map[string]token.Pos
+}
+
+// programFacts is the once-per-program view: who declares families,
+// and which packages have a marked exporter.
+type programFacts struct {
+	fams      map[string]*famDecl // keyed by last path segment
+	exporters map[string]bool     // pkg names claimed by some exporter
+}
+
+var (
+	factsMu   sync.Mutex
+	factsMemo = map[*analysis.Program]*programFacts{}
+)
+
+func facts(prog *analysis.Program) *programFacts {
+	factsMu.Lock()
+	defer factsMu.Unlock()
+	if f, ok := factsMemo[prog]; ok {
+		return f
+	}
+	f := &programFacts{fams: map[string]*famDecl{}, exporters: map[string]bool{}}
+	for _, pkg := range prog.Pkgs {
+		if strings.HasSuffix(pkg.Path, analysis.TestSuffix) {
+			continue // families and exporters live in non-test sources
+		}
+		seg := analysis.LastSegment(pkg.BasePath())
+		for _, file := range pkg.Files {
+			collectFams(f, seg, file)
+			for _, d := range file.Decls {
+				if fn, ok := d.(*ast.FuncDecl); ok {
+					if target, marked := exporterTarget(fn); marked && target != "" {
+						f.exporters[target] = true
+					}
+				}
+			}
+		}
+	}
+	factsMemo[prog] = f
+	return f
+}
+
+// collectFams records the file's exported Fam* string constants.
+func collectFams(f *programFacts, pkgSeg string, file *ast.File) {
+	for _, d := range file.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if !strings.HasPrefix(name.Name, "Fam") || !ast.IsExported(name.Name) {
+					continue
+				}
+				// Only string-valued constants name families; Fam-prefixed
+				// counts or typed enums are not part of the contract.
+				if i >= len(vs.Values) || !isStringLit(vs.Values[i]) {
+					continue
+				}
+				fd := f.fams[pkgSeg]
+				if fd == nil {
+					fd = &famDecl{pkgName: pkgSeg, pos: map[string]token.Pos{}}
+					f.fams[pkgSeg] = fd
+				}
+				fd.names = append(fd.names, name.Name)
+				fd.pos[name.Name] = name.Pos()
+			}
+		}
+	}
+}
+
+func isStringLit(e ast.Expr) bool {
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Kind == token.STRING
+}
+
+// exporterTarget returns the package name a function's doc-comment
+// directive claims to export, and whether the directive is present at
+// all (present with an empty target is a malformed marking).
+func exporterTarget(fn *ast.FuncDecl) (string, bool) {
+	if fn.Doc == nil {
+		return "", false
+	}
+	for _, c := range fn.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, directive)
+		if !ok {
+			continue
+		}
+		target, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+		return target, true
+	}
+	return "", false
+}
+
+func run(pass *analysis.Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path, analysis.TestSuffix) {
+		return nil
+	}
+	f := facts(pass.Prog)
+	seg := analysis.LastSegment(pass.Pkg.BasePath())
+
+	for _, file := range pass.Pkg.Files {
+		for _, d := range file.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			target, marked := exporterTarget(fn)
+			if !marked {
+				continue
+			}
+			if target == "" {
+				pass.Reportf(fn.Pos(), "metricexporter directive needs a package name: %s <pkg>", directive)
+				continue
+			}
+			fd := f.fams[target]
+			if fd == nil {
+				pass.Reportf(fn.Pos(), "metricexporter target %q declares no Fam* family constants", target)
+				continue
+			}
+			refs := referencedNames(fn)
+			var missing []string
+			for _, name := range fd.names {
+				if !refs[name] {
+					missing = append(missing, name)
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(fn.Pos(), "exporter %s does not render %s.%s: every registry family must appear in the Prometheus output",
+					fn.Name.Name, target, strings.Join(missing, ", "+target+"."))
+			}
+		}
+	}
+
+	// Rule 2, reported by the declaring package so the finding lands
+	// next to the forgotten registry.
+	if fd := f.fams[seg]; fd != nil && !f.exporters[seg] {
+		pass.Reportf(fd.pos[fd.names[0]],
+			"package %s declares %d Fam* metric families but no function is marked %s %s",
+			seg, len(fd.names), directive, seg)
+	}
+	return nil
+}
+
+// referencedNames collects every identifier and selector name used in
+// the function body (metrics.FamFragReads contributes "FamFragReads";
+// a dot-imported or same-package reference contributes the bare name).
+func referencedNames(fn *ast.FuncDecl) map[string]bool {
+	refs := map[string]bool{}
+	if fn.Body == nil {
+		return refs
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			refs[n.Sel.Name] = true
+		case *ast.Ident:
+			refs[n.Name] = true
+		}
+		return true
+	})
+	return refs
+}

@@ -1,0 +1,17 @@
+package metricexported_test
+
+import (
+	"testing"
+
+	"fragdb/internal/analysis/analysistest"
+	"fragdb/internal/analysis/metricexported"
+)
+
+// TestFixtures proves the analyzer accepts a complete exporter, flags
+// a forgotten family at the exporter declaration, flags malformed
+// directives, and reports a family-declaring package with no exporter
+// anywhere.
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), metricexported.Analyzer,
+		"metrics", "exporter", "orphan")
+}

@@ -1,0 +1,43 @@
+// Package exporter is the exporter-side fixture: one complete
+// exporter, one that forgot a family, and two malformed markings.
+package exporter
+
+import (
+	"fmt"
+	"io"
+
+	"metrics"
+)
+
+// WriteAll renders every family: quiet.
+//
+//halint:metricexporter metrics
+func WriteAll(w io.Writer) {
+	fmt.Fprintf(w, "%s 1\n", metrics.FamReads)
+	fmt.Fprintf(w, "%s 2\n", metrics.FamWrites)
+	for _, le := range []string{"0.001", "+Inf"} {
+		fmt.Fprintf(w, "%s_bucket{le=%q} 3\n", metrics.FamLatency, le)
+	}
+}
+
+// WriteMost forgot the latency histogram.
+//
+//halint:metricexporter metrics
+func WriteMost(w io.Writer) { // want `exporter WriteMost does not render metrics\.FamLatency`
+	fmt.Fprintf(w, "%s 1\n", metrics.FamReads)
+	fmt.Fprintf(w, "%s 2\n", metrics.FamWrites)
+}
+
+// WriteNothingNamed has a directive with no target package.
+//
+//halint:metricexporter
+func WriteNothingNamed(w io.Writer) { // want `metricexporter directive needs a package name`
+	_ = w
+}
+
+// WriteWrongTarget names a package with no families.
+//
+//halint:metricexporter nosuchpkg
+func WriteWrongTarget(w io.Writer) { // want `metricexporter target "nosuchpkg" declares no Fam\* family constants`
+	_ = w
+}

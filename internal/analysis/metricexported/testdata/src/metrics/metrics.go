@@ -1,0 +1,19 @@
+// Package metrics is the family-declaration fixture: three exported
+// Fam* constants, rendered (incompletely) by the exporter fixture.
+package metrics
+
+const (
+	FamReads   = "reads_total"
+	FamWrites  = "writes_total"
+	FamLatency = "latency_seconds"
+)
+
+// FamilyCount is not a family constant (no Fam* string naming shape is
+// enforced on non-Fam names); it must not be demanded of exporters.
+const FamilyCount = 3
+
+// notExported starts lowercase: not part of the contract.
+const famHidden = "hidden_total"
+
+// Hidden references famHidden so it is not unused in the fixture.
+func Hidden() string { return famHidden }

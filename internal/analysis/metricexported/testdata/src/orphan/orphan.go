@@ -1,0 +1,11 @@
+// Package orphan declares metric families that no exporter anywhere
+// renders: the whole registry is invisible.
+package orphan
+
+const (
+	FamGhosts = "ghosts_total" // want `package orphan declares 2 Fam\* metric families but no function is marked`
+	FamSpooks = "spooks_total"
+)
+
+// Use references the constants so the fixture compiles vet-clean.
+func Use() string { return FamGhosts + FamSpooks }

@@ -7,6 +7,7 @@ package registry
 import (
 	"fragdb/internal/analysis"
 	"fragdb/internal/analysis/lockedsend"
+	"fragdb/internal/analysis/metricexported"
 	"fragdb/internal/analysis/nowalltime"
 	"fragdb/internal/analysis/shardorder"
 	"fragdb/internal/analysis/traceexhaustive"
@@ -21,6 +22,7 @@ func All() []*analysis.Analyzer {
 		shardorder.Analyzer,
 		wireencodable.Analyzer,
 		traceexhaustive.Analyzer,
+		metricexported.Analyzer,
 	}
 }
 

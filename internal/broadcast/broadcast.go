@@ -199,6 +199,10 @@ type Config struct {
 	// Metrics, if non-nil, receives the compaction gauges and counters.
 	// One value may be shared by all nodes of a cluster.
 	Metrics *metrics.Broadcast
+	// Registry, if non-nil, counts per-origin payload deliveries in the
+	// labeled registry (broadcast_stream_delivered_total). Nil-safe:
+	// a nil Registry records nothing.
+	Registry *metrics.Registry
 	// SizeOf, if non-nil, measures payloads for the LogBytes gauge
 	// (e.g. wire.Size). Nil skips byte accounting.
 	SizeOf func(payload any) int
@@ -582,6 +586,7 @@ func (b *Broadcaster) drainDeliveries() {
 			continue
 		}
 		b.mu.Unlock()
+		b.cfg.Registry.IncDelivered(d.origin)
 		b.handler(d.origin, d.seq, d.payload)
 		b.mu.Lock()
 		if b.delivered[d.origin] < d.seq {

@@ -162,6 +162,13 @@ type Config struct {
 	// Zero disables tracing entirely: no events are constructed and the
 	// hot paths pay only a nil check.
 	TraceCap int
+	// LabeledMetrics enables the per-fragment labeled registry
+	// (internal/metrics.Registry): reads, writes, commits, aborts by
+	// cause, lock waits, quasi lag, and remote-lock denials keyed by
+	// (fragment, origin node) — the access-pattern matrix the adaptive
+	// placement work consumes and the /metrics exporter renders. False
+	// keeps Registry() nil, so the hot paths pay only a nil check.
+	LabeledMetrics bool
 	// ApplyShards, when > 1, shards each node's apply path and lock
 	// manager by fragment: incoming quasi-transactions install
 	// concurrently across that many fragment-hashed shards, one
@@ -240,7 +247,10 @@ type Cluster struct {
 	rec    *history.Recorder
 	stats  *metrics.Counters
 	bstats *metrics.Broadcast
-	nodes  []*Node
+	// reg is the labeled per-fragment registry; nil (inert) unless
+	// Config.LabeledMetrics is set.
+	reg   *metrics.Registry
+	nodes []*Node
 
 	// tracers holds one flight recorder per node when Config.TraceCap is
 	// positive; all nil entries otherwise (a nil Recorder is inert).
@@ -305,6 +315,9 @@ func NewCluster(cfg Config) *Cluster {
 		fragOptions: make(map[fragments.FragmentID]ControlOption),
 		replicas:    make(map[fragments.FragmentID]map[netsim.NodeID]bool),
 	}
+	if cfg.LabeledMetrics {
+		cl.reg = metrics.NewRegistry()
+	}
 	if cfg.Transport != nil {
 		if cfg.Transport.N() != cfg.N {
 			panic(fmt.Sprintf("core: transport has %d nodes, Config.N is %d", cfg.Transport.N(), cfg.N))
@@ -359,6 +372,10 @@ func (cl *Cluster) Stats() *metrics.Counters { return cl.stats }
 // BroadcastStats returns the cluster-wide broadcast gauges (retained
 // log entries, compaction and snapshot-catch-up counters).
 func (cl *Cluster) BroadcastStats() *metrics.Broadcast { return cl.bstats }
+
+// Registry returns the labeled per-fragment metrics registry — nil (a
+// valid, inert registry) unless Config.LabeledMetrics is set.
+func (cl *Cluster) Registry() *metrics.Registry { return cl.reg }
 
 // Trace returns node i's flight recorder — nil (a valid, inert
 // recorder) when tracing is disabled.
@@ -487,6 +504,17 @@ func (cl *Cluster) Start() error {
 			continue // remote nodes live in their own processes
 		}
 		cl.nodes[i] = newNode(cl, netsim.NodeID(i))
+	}
+	// Publish each cataloged fragment's class metadata (control option,
+	// commutativity) to the labeled registry: the join key observers use
+	// to map fragments to the paper's availability classes.
+	if cl.reg != nil {
+		for _, f := range cl.cat.Fragments() {
+			cl.reg.SetFragInfo(f, metrics.FragInfo{
+				Option:      cl.optionFor(f).String(),
+				Commutative: cl.IsCommutative(f),
+			})
+		}
 	}
 	cl.started = true
 	return nil

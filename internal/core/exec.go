@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -28,6 +29,7 @@ func (n *Node) Submit(spec TxnSpec, done func(TxnResult)) {
 func (n *Node) reject(spec TxnSpec, done func(TxnResult), err error) {
 	n.cl.stats.Rejected.Add(1)
 	n.cl.stats.Aborted.Add(1)
+	n.cl.reg.IncAbort(spec.Fragment, n.id, "rejected")
 	if n.tr.Enabled() {
 		n.tr.Emit(trace.Event{Kind: trace.KReject, Frag: spec.Fragment,
 			Err: err.Error(), Note: spec.Label})
@@ -162,6 +164,7 @@ func (n *Node) handleRead(t *activeTxn, req request) bool {
 	// read it remotely at the agent's home node, whatever the option.
 	if !n.cl.IsReplica(frag, n.id) {
 		if home, ok := n.cl.tokens.HomeOfFragment(frag); ok && home != n.id {
+			n.cl.reg.IncRead(frag, n.id)
 			t.pendingRemote = &req
 			if n.tr.Enabled() {
 				n.tr.Emit(trace.Event{Kind: trace.KRemoteLockWait, Txn: t.id,
@@ -184,6 +187,7 @@ func (n *Node) handleRead(t *activeTxn, req request) bool {
 	// the owning agent's home node and read the authoritative copy.
 	if opt == ReadLocks && foreign {
 		if home, ok := n.cl.tokens.HomeOfFragment(frag); ok && home != n.id {
+			n.cl.reg.IncRead(frag, n.id)
 			t.pendingRemote = &req
 			if n.tr.Enabled() {
 				n.tr.Emit(trace.Event{Kind: trace.KRemoteLockWait, Txn: t.id,
@@ -210,6 +214,11 @@ func (n *Node) handleRead(t *activeTxn, req request) bool {
 
 // finishRead delivers the read value after the per-operation latency.
 func (n *Node) finishRead(t *activeTxn, req request) {
+	if reg := n.cl.reg; reg != nil {
+		if f, ok := n.cl.cat.FragmentOf(req.obj); ok {
+			reg.IncRead(f, n.id)
+		}
+	}
 	n.cl.sched.After(n.cl.cfg.OpLatency, func() {
 		if t.finished {
 			t.respCh <- response{err: causeOf(t)}
@@ -270,6 +279,13 @@ func (n *Node) handleWrite(t *activeTxn, req request) bool {
 // finishWrite buffers the write in the transaction workspace after the
 // per-operation latency.
 func (n *Node) finishWrite(t *activeTxn, req request) {
+	if reg := n.cl.reg; reg != nil {
+		f := t.spec.Fragment
+		if ff, ok := n.cl.cat.FragmentOf(req.obj); ok {
+			f = ff
+		}
+		reg.IncWrite(f, n.id)
+	}
 	n.cl.sched.After(n.cl.cfg.OpLatency, func() {
 		if t.finished {
 			t.respCh <- response{err: causeOf(t)}
@@ -425,6 +441,8 @@ func (n *Node) finalize(t *activeTxn, err error, committed bool) {
 	if committed {
 		n.cl.stats.Committed.Add(1)
 		n.cl.stats.CommitLatency.Observe(now.Sub(t.start))
+		n.cl.reg.IncCommit(t.spec.Fragment, n.id)
+		n.cl.reg.ObserveCommitLatency(t.spec.Fragment, n.id, now.Sub(t.start))
 		if n.cl.cfg.ApplyShards > 1 && n.txnSpansShards(t) {
 			n.cl.stats.CrossShardTxns.Add(1)
 		}
@@ -434,6 +452,7 @@ func (n *Node) finalize(t *activeTxn, err error, committed bool) {
 		}
 	} else {
 		n.cl.stats.Aborted.Add(1)
+		n.cl.reg.IncAbort(t.spec.Fragment, n.id, abortCause(err))
 		if n.tr.Enabled() {
 			cause := ""
 			if err != nil {
@@ -449,6 +468,35 @@ func (n *Node) finalize(t *activeTxn, err error, committed bool) {
 			ID: t.id, Label: t.spec.Label, Committed: committed,
 			Err: err, Start: t.start, End: now,
 		})
+	}
+}
+
+// abortCause classifies an abort error into the fixed label set of the
+// frag_aborts_total metric family. The set is closed (every branch maps
+// to one of these strings) so the registry's cause cardinality stays
+// bounded no matter what error text the engine produces.
+func abortCause(err error) string {
+	switch {
+	case err == nil:
+		return "other"
+	case errors.Is(err, ErrTimeout):
+		return "timeout"
+	case errors.Is(err, ErrDeadlock):
+		return "deadlock"
+	case errors.Is(err, ErrWounded):
+		return "wounded"
+	case errors.Is(err, ErrNoMajority):
+		return "no-majority"
+	case errors.Is(err, ErrRemoteDenied):
+		return "remote-deny"
+	case errors.Is(err, ErrAgentMoving):
+		return "agent-moving"
+	case errors.Is(err, ErrUndeclaredRead):
+		return "undeclared-read"
+	case errors.Is(err, ErrNotAgent), errors.Is(err, ErrNotHome):
+		return "rejected"
+	default:
+		return "other"
 	}
 }
 
@@ -624,6 +672,8 @@ func (n *Node) installQuasi(w *quasiWaiter) {
 	n.cl.stats.QuasiApplied.Add(1)
 	lag := n.cl.sched.Now().Sub(w.q.Stamp)
 	n.cl.stats.QuasiLag.Observe(lag)
+	n.cl.reg.IncApply(w.f, w.q.Home)
+	n.cl.reg.ObserveQuasiLag(w.f, w.q.Home, lag)
 	if n.tr.Enabled() {
 		n.tr.Emit(trace.Event{Kind: trace.KQuasiApply, Txn: w.q.Txn,
 			Frag: w.f, Pos: w.q.Pos, Peer: w.q.Home, HasPeer: true, Dur: lag})

@@ -248,6 +248,7 @@ func newNode(cl *Cluster, id netsim.NodeID) *Node {
 			PeerLiveRounds:  cl.cfg.PeerLiveRounds,
 			Snapshot:        nodeSnapshotter{n},
 			Metrics:         cl.bstats,
+			Registry:        cl.reg,
 			SizeOf:          wire.Size,
 			Trace:           n.tr,
 			Burst:           burst,
@@ -278,7 +279,7 @@ func (n *Node) newLockManager() *lock.Manager {
 		m = lock.NewManager()
 	}
 	if n.tr.Enabled() {
-		m.OnEvent = func(id txn.ID, o fragments.ObjectID, mode lock.Mode, ev lock.TraceEvent) {
+		m.AddObserver(func(id txn.ID, o fragments.ObjectID, mode lock.Mode, ev lock.TraceEvent) {
 			kind := trace.KLockWait
 			switch ev {
 			case lock.TraceGrant:
@@ -287,7 +288,18 @@ func (n *Node) newLockManager() *lock.Manager {
 				kind = trace.KLockDeadlock
 			}
 			n.tr.Emit(trace.Event{Kind: kind, Txn: id, Obj: o, Note: mode.String()})
-		}
+		})
+	}
+	if reg := n.cl.reg; reg != nil {
+		cl := n.cl
+		m.AddObserver(func(id txn.ID, o fragments.ObjectID, mode lock.Mode, ev lock.TraceEvent) {
+			if ev != lock.TraceWait {
+				return
+			}
+			if f, ok := cl.cat.FragmentOf(o); ok {
+				reg.IncLockWait(f, id.Origin)
+			}
+		})
 	}
 	return m
 }
@@ -438,6 +450,7 @@ func (n *Node) handleStraggler(st *streamState, q txn.Quasi) {
 	if st.forward && q.Pos.Epoch == st.oldEpoch && q.Pos.Seq > st.oldInstalled {
 		// Rule B(2): do not process; forward to the new home.
 		n.cl.stats.QuasiForwarded.Add(1)
+		n.cl.reg.IncForward(q.Fragment, q.Home)
 		if n.tr.Enabled() {
 			n.tr.Emit(trace.Event{Kind: trace.KQuasiForward, Txn: q.Txn,
 				Frag: q.Fragment, Pos: q.Pos, Peer: st.forwardTo, HasPeer: true})

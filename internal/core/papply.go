@@ -64,6 +64,10 @@ type ParallelApplierConfig struct {
 	// Latency, if non-nil (and Now is set), observes each
 	// quasi-transaction's submit-to-install latency.
 	Latency *metrics.Histogram
+	// Registry, if non-nil, counts each installed quasi-transaction in
+	// the labeled registry (frag_applies_total by origin home, plus
+	// frag_quasi_lag_seconds when Now is set). Nil-safe no-op when nil.
+	Registry *metrics.Registry
 	// QueueDepth bounds each worker's channel (default 1024).
 	QueueDepth int
 }
@@ -144,18 +148,46 @@ func (pa *ParallelApplier) Close() {
 	pa.wg.Wait()
 }
 
+// applyHandles caches a label's registry handles so the per-quasi cost
+// is one plain map lookup instead of two sync.Map lookups (each boxing
+// the string-keyed Label into an interface — an allocation per apply).
+type applyHandles struct {
+	applies metrics.Counter
+	lag     *metrics.Histogram
+}
+
 func (pa *ParallelApplier) worker(ch chan []txn.Quasi) {
 	defer pa.wg.Done()
-	for run := range ch {
-		pa.applyRun(run)
+	// Each worker owns its cache: labels are O(fragments × nodes), and a
+	// fragment always hashes to the same worker, so caches stay small
+	// and need no locking.
+	var handles map[metrics.Label]applyHandles
+	if pa.cfg.Registry != nil {
+		handles = make(map[metrics.Label]applyHandles)
 	}
+	for run := range ch {
+		pa.applyRun(run, handles)
+	}
+}
+
+// handlesFor resolves (and memoizes) the registry handles for a label.
+func (pa *ParallelApplier) handlesFor(cache map[metrics.Label]applyHandles, l metrics.Label) applyHandles {
+	h, ok := cache[l]
+	if !ok {
+		h = applyHandles{
+			applies: pa.cfg.Registry.Applies.At(l),
+			lag:     pa.cfg.Registry.QuasiLag.At(l),
+		}
+		cache[l] = h
+	}
+	return h
 }
 
 // applyRun installs one same-fragment run: acquire the run's combined
 // write set in sorted object order under the run's group owner (the
 // first quasi's id), park on any lock an external transaction holds,
 // install every quasi in run order, release once.
-func (pa *ParallelApplier) applyRun(run []txn.Quasi) {
+func (pa *ParallelApplier) applyRun(run []txn.Quasi, handles map[metrics.Label]applyHandles) {
 	owner := run[0].Txn
 	var at simtime.Time
 	if pa.cfg.Now != nil {
@@ -205,6 +237,29 @@ func (pa *ParallelApplier) applyRun(run []txn.Quasi) {
 		d := pa.cfg.Now().Sub(at)
 		for range run {
 			pa.cfg.Latency.Observe(d)
+		}
+	}
+	if handles != nil {
+		// One handle lookup per run, not per quasi: the run is a single
+		// fragment, and its quasis almost always share a home (the label's
+		// other half), so the loop below only re-resolves on a home change
+		// mid-run (an agent move landing inside one batch).
+		var now simtime.Time
+		hasNow := pa.cfg.Now != nil
+		if hasNow {
+			now = pa.cfg.Now()
+		}
+		l := metrics.Label{Frag: run[0].Fragment, Node: run[0].Home}
+		h := pa.handlesFor(handles, l)
+		for _, q := range run {
+			if q.Home != l.Node {
+				l.Node = q.Home
+				h = pa.handlesFor(handles, l)
+			}
+			h.applies.Inc()
+			if hasNow {
+				h.lag.Observe(now.Sub(q.Stamp))
+			}
 		}
 	}
 	pa.waitMu.Lock()

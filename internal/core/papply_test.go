@@ -211,20 +211,30 @@ func BenchmarkApplySaturation(b *testing.B) {
 	}{{"disjoint", false}, {"skewed", true}} {
 		for _, shards := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("%s/shards=%d", wl.name, shards), func(b *testing.B) {
-				benchApply(b, wl.skewed, shards)
+				benchApply(b, wl.skewed, shards, false)
+			})
+			// The /registry variants re-run the same cell with the
+			// labeled metrics registry attached; CI compares the pairs
+			// to enforce the registry-overhead budget.
+			b.Run(fmt.Sprintf("%s/shards=%d/registry", wl.name, shards), func(b *testing.B) {
+				benchApply(b, wl.skewed, shards, true)
 			})
 		}
 	}
 }
 
-func benchApply(b *testing.B, skewed bool, shards int) {
+func benchApply(b *testing.B, skewed bool, shards int, labeled bool) {
 	const nfrags = 64
 	_, store, m := papplyFixture(b, nfrags, shards)
 	hist := &metrics.Histogram{}
+	var reg *metrics.Registry
+	if labeled {
+		reg = metrics.NewRegistry()
+	}
 	//halint:allow nowalltime -- benchmark measures real wall-clock latency on the rtnet-side runtime
 	now := func() simtime.Time { return simtime.Time(time.Now().UnixNano()) }
 	pa := NewParallelApplier(ParallelApplierConfig{
-		Shards: shards, Store: store, Locks: m, Now: now, Latency: hist,
+		Shards: shards, Store: store, Locks: m, Now: now, Latency: hist, Registry: reg,
 	})
 	streams := papplyStreams(nfrags, b.N, skewed, rand.New(rand.NewSource(11)))
 	runs := chunkRuns(streams, 16, rand.New(rand.NewSource(12)))

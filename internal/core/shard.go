@@ -253,6 +253,8 @@ func (n *Node) installRun(as *applyState, w *quasiWaiter) {
 		n.cl.stats.QuasiApplied.Add(1)
 		lag := n.cl.sched.Now().Sub(q.Stamp)
 		n.cl.stats.QuasiLag.Observe(lag)
+		n.cl.reg.IncApply(w.f, q.Home)
+		n.cl.reg.ObserveQuasiLag(w.f, q.Home, lag)
 		if n.tr.Enabled() {
 			n.tr.Emit(trace.Event{Kind: trace.KQuasiApply, Txn: q.Txn,
 				Frag: w.f, Pos: q.Pos, Peer: q.Home, HasPeer: true, Dur: lag})

@@ -43,6 +43,10 @@ type Config struct {
 	// shorter than the simulator's 5s so unavailability shows up as
 	// fast aborts in availability experiments rather than long stalls).
 	TxnTimeout time.Duration
+	// TraceCap sizes the local node's flight-recorder ring (events kept;
+	// default 4096 — enough tail for cross-node timeline correlation at
+	// load-harness rates). Negative disables tracing.
+	TraceCap int
 	// Listener, when non-nil, is the pre-bound listen socket (tests).
 	Listener net.Listener
 }
@@ -117,6 +121,11 @@ func New(cfg Config, raw netsim.Transport) (*Node, error) {
 	if cfg.TxnTimeout <= 0 {
 		cfg.TxnTimeout = 2 * time.Second
 	}
+	if cfg.TraceCap == 0 {
+		cfg.TraceCap = 4096
+	} else if cfg.TraceCap < 0 {
+		cfg.TraceCap = 0
+	}
 	gate := &execGate{}
 	lv, err := workload.NewLive(workload.LiveConfig{
 		Cluster: core.Config{
@@ -125,6 +134,8 @@ func New(cfg Config, raw netsim.Transport) (*Node, error) {
 			OpLatency:      simtime.Duration(cfg.OpLatency),
 			TxnTimeout:     simtime.Duration(cfg.TxnTimeout),
 			MajorityCommit: cfg.MajorityCommit,
+			TraceCap:       cfg.TraceCap,
+			LabeledMetrics: true,
 			Transport:      rtnet.ExecTransport{Transport: raw, Exec: gate.run},
 			SingleNode:     true,
 			LocalNode:      netsim.NodeID(cfg.ID),
@@ -246,6 +257,8 @@ func (n *Node) DebugVars() rtnet.DebugVars {
 	v := rtnet.DebugVars{
 		Counters:  cl.Stats(),
 		Broadcast: cl.BroadcastStats(),
+		Registry:  cl.Registry(),
+		Runtime:   true,
 	}
 	for i := 0; i < len(n.Cfg.Addrs); i++ {
 		v.Tracers = append(v.Tracers, cl.Trace(netsim.NodeID(i)))

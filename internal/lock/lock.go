@@ -151,6 +151,26 @@ type Manager struct {
 	OnEvent func(id txn.ID, o fragments.ObjectID, mode Mode, ev TraceEvent)
 }
 
+// AddObserver chains fn after any observer already installed, so
+// independent consumers (flight-recorder tracing, labeled metrics) can
+// each watch blocked-path events without coordinating. Call before the
+// manager is shared across goroutines; fn obeys the OnEvent contract
+// (no callbacks into the Manager).
+func (m *Manager) AddObserver(fn func(id txn.ID, o fragments.ObjectID, mode Mode, ev TraceEvent)) {
+	if fn == nil {
+		return
+	}
+	prev := m.OnEvent
+	if prev == nil {
+		m.OnEvent = fn
+		return
+	}
+	m.OnEvent = func(id txn.ID, o fragments.ObjectID, mode Mode, ev TraceEvent) {
+		prev(id, o, mode, ev)
+		fn(id, o, mode, ev)
+	}
+}
+
 // NewManager returns an empty single-shard lock table — the exact
 // behavior of the historical unsharded manager.
 func NewManager() *Manager { return NewSharded(1, nil) }

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"fragdb/internal/simtime"
+	"fragdb/internal/trace"
+	"fragdb/internal/txn"
+)
+
+func ms(n int) simtime.Time { return simtime.Time(time.Duration(n) * time.Millisecond) }
+
+// skewedRingsFixture builds the correlator's torture fixture: three
+// nodes' flight-recorder tails where
+//
+//   - node 2's clock runs ~15ms behind node 0's, so replica-side
+//     events carry timestamps EARLIER than the home-side events that
+//     caused them;
+//   - node 1 is missing entirely (its scrape failed mid-poll);
+//   - node 0's ring wrapped, losing the submit of T(N2#7);
+//   - T(N0#2) appears in two epochs: applied at epoch 0, then
+//     forwarded as an old-epoch straggler into epoch 1 after a move;
+//   - node 0's tail is delivered twice (two overlapping scrapes).
+func skewedRingsFixture() []TraceTail {
+	tx1 := txn.ID{Origin: 0, Seq: 1}
+	tx2 := txn.ID{Origin: 0, Seq: 2}
+	tx3 := txn.ID{Origin: 2, Seq: 7}
+
+	node0 := TraceTail{Node: 0, Events: []trace.Event{
+		{T: ms(10), Node: 0, Kind: trace.KSubmit, Txn: tx1, Note: "deposit"},
+		{T: ms(12), Node: 0, Kind: trace.KLockWait, Txn: tx1, Obj: "BALANCES/A00"},
+		{T: ms(13), Node: 0, Kind: trace.KLockGrant, Txn: tx1, Obj: "BALANCES/A00"},
+		{T: ms(20), Node: 0, Kind: trace.KCommit, Txn: tx1, Dur: 10 * time.Millisecond},
+		{T: ms(20), Node: 0, Kind: trace.KQuasiSend, Txn: tx1, Frag: "BALANCES"},
+		{T: ms(30), Node: 0, Kind: trace.KSubmit, Txn: tx2},
+		{T: ms(35), Node: 0, Kind: trace.KCommit, Txn: tx2, Dur: 5 * time.Millisecond},
+		{T: ms(35), Node: 0, Kind: trace.KQuasiSend, Txn: tx2, Frag: "BALANCES"},
+		// After the agent moved, the straggler was forwarded into the
+		// new epoch — same txn id, different incarnation.
+		{T: ms(60), Node: 0, Kind: trace.KQuasiForward, Txn: tx2, Frag: "BALANCES",
+			Pos: txn.FragPos{Epoch: 1, Seq: 2}},
+	}}
+
+	// Node 2's clock is skewed ~15ms early: its applies of node 0's
+	// transactions are stamped BEFORE the home commits.
+	node2 := TraceTail{Node: 2, Events: []trace.Event{
+		{T: ms(8), Node: 2, Kind: trace.KQuasiApply, Txn: tx1, Frag: "BALANCES",
+			Pos: txn.FragPos{Epoch: 0, Seq: 1}, Dur: 3 * time.Millisecond},
+		{T: ms(25), Node: 2, Kind: trace.KQuasiApply, Txn: tx2, Frag: "BALANCES",
+			Pos: txn.FragPos{Epoch: 0, Seq: 2}, Dur: 5 * time.Millisecond},
+		// tx3's submit was overwritten by ring wraparound; only the
+		// terminal survived.
+		{T: ms(40), Node: 2, Kind: trace.KCommit, Txn: tx3, Dur: 2 * time.Millisecond},
+		// Housekeeping noise with no causal id must be ignored.
+		{T: ms(41), Node: 2, Kind: trace.KCompact, Seq: 9, Arg: 4},
+	}}
+
+	// node 0 scraped twice (overlapping polls): exact duplicates.
+	return []TraceTail{node0, node2, node0}
+}
+
+func kinds(tl Timeline) []trace.Kind {
+	out := make([]trace.Kind, len(tl.Events))
+	for i, e := range tl.Events {
+		out[i] = e.Kind
+	}
+	return out
+}
+
+func TestMergeTimelinesSkewedRings(t *testing.T) {
+	tls := MergeTimelines(skewedRingsFixture())
+	if len(tls) != 4 {
+		t.Fatalf("want 4 timelines (tx1, tx2 epoch 0, tx2 epoch 1, tx3), got %d: %+v", len(tls), tls)
+	}
+
+	tx1, tx2e0, tx2e1, tx3 := tls[0], tls[1], tls[2], tls[3]
+
+	// tx1: full cross-node lifecycle. Stage ordering must put node 2's
+	// apply LAST even though its skewed timestamp (8ms) precedes every
+	// node-0 event, and the double-scraped node-0 tail must not
+	// duplicate events.
+	if tx1.Txn != (txn.ID{Origin: 0, Seq: 1}) || tx1.Epoch != 0 {
+		t.Fatalf("timeline 0: want T(N0#1) epoch 0, got %v epoch %d", tx1.Txn, tx1.Epoch)
+	}
+	want := []trace.Kind{trace.KSubmit, trace.KLockWait, trace.KLockGrant,
+		trace.KCommit, trace.KQuasiSend, trace.KQuasiApply}
+	got := kinds(tx1)
+	if len(got) != len(want) {
+		t.Fatalf("tx1: want %d events %v, got %v", len(want), want, got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tx1 event %d: want %v, got %v (full: %v)", i, want[i], got[i], got)
+		}
+	}
+	if !tx1.Complete || !tx1.Committed || tx1.Aborted {
+		t.Errorf("tx1: want complete+committed, got %+v", tx1)
+	}
+	if !tx1.CrossNode() || len(tx1.Nodes) != 2 || tx1.Nodes[0] != 0 || tx1.Nodes[1] != 2 {
+		t.Errorf("tx1: want cross-node [0 2], got %v", tx1.Nodes)
+	}
+
+	// tx2 epoch 0: the original incarnation — submit/commit (pos-less,
+	// anchored at the lowest epoch) plus the epoch-0 apply.
+	if tx2e0.Txn != (txn.ID{Origin: 0, Seq: 2}) || tx2e0.Epoch != 0 {
+		t.Fatalf("timeline 1: want T(N0#2) epoch 0, got %v epoch %d", tx2e0.Txn, tx2e0.Epoch)
+	}
+	if !tx2e0.Complete || !tx2e0.Committed || !tx2e0.CrossNode() {
+		t.Errorf("tx2 epoch 0: want complete committed cross-node, got %+v", tx2e0)
+	}
+	if g := kinds(tx2e0); g[len(g)-1] != trace.KQuasiApply {
+		t.Errorf("tx2 epoch 0: apply should order last, got %v", g)
+	}
+
+	// tx2 epoch 1: the forwarded straggler is its own incarnation, not
+	// fused into epoch 0.
+	if tx2e1.Txn != tx2e0.Txn || tx2e1.Epoch != 1 {
+		t.Fatalf("timeline 2: want T(N0#2) epoch 1, got %v epoch %d", tx2e1.Txn, tx2e1.Epoch)
+	}
+	if len(tx2e1.Events) != 1 || tx2e1.Events[0].Kind != trace.KQuasiForward {
+		t.Errorf("tx2 epoch 1: want the lone forward, got %v", kinds(tx2e1))
+	}
+	if !tx2e1.Complete || tx2e1.CrossNode() {
+		t.Errorf("tx2 epoch 1: want complete single-node, got %+v", tx2e1)
+	}
+
+	// tx3: ring wraparound ate the submit — the timeline survives but
+	// is marked incomplete.
+	if tx3.Txn != (txn.ID{Origin: 2, Seq: 7}) {
+		t.Fatalf("timeline 3: want T(N2#7), got %v", tx3.Txn)
+	}
+	if tx3.Complete {
+		t.Errorf("tx3: submit lost to wraparound, want Complete=false: %+v", tx3)
+	}
+	if !tx3.Committed {
+		t.Errorf("tx3: terminal commit was present, want Committed: %+v", tx3)
+	}
+}
+
+func TestMergeTimelinesEmpty(t *testing.T) {
+	if got := MergeTimelines(nil); len(got) != 0 {
+		t.Fatalf("want no timelines from no tails, got %v", got)
+	}
+	// Tails with only housekeeping events produce nothing.
+	tails := []TraceTail{{Node: 0, Events: []trace.Event{
+		{T: ms(1), Node: 0, Kind: trace.KCompact, Seq: 3},
+	}}}
+	if got := MergeTimelines(tails); len(got) != 0 {
+		t.Fatalf("want no timelines from housekeeping-only tails, got %v", got)
+	}
+}

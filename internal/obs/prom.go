@@ -1,0 +1,315 @@
+// Package obs is the cluster-observatory layer: it scrapes every
+// node's /metrics, /trace, and /healthz endpoints, merges the per-node
+// flight-recorder rings into global causal transaction timelines, and
+// renders the paper's availability spectrum per transaction class.
+//
+// The package is deterministic (no wall-clock reads): callers inject
+// scrape timestamps, so the correlator and spectrum math can be tested
+// against fixed fixtures. cmd/haobs supplies wall time.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed Prometheus text-exposition sample.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns a label value ("" when absent).
+func (s Sample) Label(k string) string { return s.Labels[k] }
+
+// Metrics is a scraped metrics page, queryable by family and labels.
+type Metrics []Sample
+
+// ParsePromText parses a Prometheus text-format page into samples.
+// Comment and malformed lines are skipped (a scrape must degrade, not
+// fail, when a node exposes something unexpected).
+func ParsePromText(r io.Reader) (Metrics, error) {
+	var out Metrics
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if s, ok := parsePromLine(line); ok {
+			out = append(out, s)
+		}
+	}
+	return out, sc.Err()
+}
+
+// parsePromLine parses `name{k="v",...} value` or `name value`.
+func parsePromLine(line string) (Sample, bool) {
+	s := Sample{}
+	nameEnd := strings.IndexAny(line, "{ \t")
+	if nameEnd <= 0 {
+		return s, false
+	}
+	s.Name = line[:nameEnd]
+	rest := line[nameEnd:]
+	if rest[0] == '{' {
+		close := findLabelsEnd(rest)
+		if close < 0 {
+			return s, false
+		}
+		labels, ok := parseLabels(rest[1:close])
+		if !ok {
+			return s, false
+		}
+		s.Labels = labels
+		rest = rest[close+1:]
+	}
+	v, err := strconv.ParseFloat(strings.Fields(rest)[0], 64)
+	if err != nil {
+		return s, false
+	}
+	s.Value = v
+	return s, true
+}
+
+// findLabelsEnd returns the index of the closing '}' of a label block
+// starting at index 0, honoring quoted values with escapes.
+func findLabelsEnd(rest string) int {
+	inQuote := false
+	for i := 1; i < len(rest); i++ {
+		switch rest[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// parseLabels parses `k="v",k2="v2"` (escapes \\ \" \n honored).
+func parseLabels(body string) (map[string]string, bool) {
+	labels := map[string]string{}
+	i := 0
+	for i < len(body) {
+		eq := strings.IndexByte(body[i:], '=')
+		if eq < 0 {
+			return nil, false
+		}
+		key := strings.TrimSpace(body[i : i+eq])
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			return nil, false
+		}
+		i++
+		var val strings.Builder
+		for i < len(body) {
+			c := body[i]
+			if c == '\\' && i+1 < len(body) {
+				switch body[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				default:
+					val.WriteByte(body[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if i >= len(body) || body[i] != '"' {
+			return nil, false
+		}
+		labels[key] = val.String()
+		i++
+		if i < len(body) && body[i] == ',' {
+			i++
+		}
+	}
+	return labels, true
+}
+
+// matches reports whether the sample carries every given label value.
+func (s Sample) matches(match map[string]string) bool {
+	for k, v := range match {
+		if s.Labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Value returns the first sample of the family matching the labels.
+func (m Metrics) Value(name string, match map[string]string) (float64, bool) {
+	for _, s := range m {
+		if s.Name == name && s.matches(match) {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Sum totals every sample of the family matching the labels.
+func (m Metrics) Sum(name string, match map[string]string) float64 {
+	var total float64
+	for _, s := range m {
+		if s.Name == name && s.matches(match) {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+// Each invokes fn for every sample of the family.
+func (m Metrics) Each(name string, fn func(Sample)) {
+	for _, s := range m {
+		if s.Name == name {
+			fn(s)
+		}
+	}
+}
+
+// HistBuckets extracts a histogram family's merged per-bucket counts
+// for samples matching the labels: cumulative `<name>_bucket` samples
+// (grouped by their full label set, so per-fragment/per-node series
+// de-cumulate independently) are converted to per-bucket increments and
+// summed by upper bound. The +Inf bucket is included with
+// Upper=+Inf.
+func (m Metrics) HistBuckets(name string, match map[string]string) []HistBucket {
+	type series struct {
+		les  []float64
+		cums []float64
+	}
+	groups := map[string]*series{}
+	for _, s := range m {
+		if s.Name != name+"_bucket" || !s.matches(match) {
+			continue
+		}
+		le := s.Labels["le"]
+		var upper float64
+		if le == "+Inf" {
+			upper = infValue
+		} else {
+			v, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				continue
+			}
+			upper = v
+		}
+		key := seriesKey(s.Labels)
+		g := groups[key]
+		if g == nil {
+			g = &series{}
+			groups[key] = g
+		}
+		g.les = append(g.les, upper)
+		g.cums = append(g.cums, s.Value)
+	}
+	counts := map[float64]float64{}
+	for _, g := range groups {
+		idx := make([]int, len(g.les))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return g.les[idx[a]] < g.les[idx[b]] })
+		prev := 0.0
+		for _, i := range idx {
+			d := g.cums[i] - prev
+			if d > 0 {
+				counts[g.les[i]] += d
+			}
+			prev = g.cums[i]
+		}
+	}
+	out := make([]HistBucket, 0, len(counts))
+	for le, c := range counts {
+		out = append(out, HistBucket{Upper: le, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Upper < out[j].Upper })
+	return out
+}
+
+// infValue stands in for +Inf in bucket maps (comparisons still sort
+// it last; JSON rendering stays finite).
+const infValue = 1e308
+
+// HistBucket is one merged (non-cumulative) histogram bucket.
+type HistBucket struct {
+	Upper float64 `json:"le"`
+	Count float64 `json:"count"`
+}
+
+// seriesKey renders a label set minus "le" as a canonical string.
+func seriesKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k == "le" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%q,", k, labels[k])
+	}
+	return b.String()
+}
+
+// Quantile returns an upper bound for the q-quantile of merged buckets
+// (0 when empty). The +Inf bucket answers with the largest finite
+// bound seen (or 0 when everything landed in +Inf).
+func Quantile(buckets []HistBucket, q float64) float64 {
+	var total float64
+	for _, b := range buckets {
+		total += b.Count
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * total
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	var lastFinite float64
+	for _, b := range buckets {
+		if b.Upper < infValue {
+			lastFinite = b.Upper
+		}
+		cum += b.Count
+		if cum >= rank {
+			if b.Upper >= infValue {
+				return lastFinite
+			}
+			return b.Upper
+		}
+	}
+	return lastFinite
+}

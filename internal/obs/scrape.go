@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"fragdb/internal/trace"
+)
+
+// Health mirrors hanode's /healthz response.
+type Health struct {
+	ID     int          `json:"id"`
+	Option string       `json:"option"`
+	Peers  []PeerHealth `json:"peers"`
+}
+
+// PeerHealth is one peer's connectivity as seen from the scraped node.
+type PeerHealth struct {
+	ID        int    `json:"id"`
+	Addr      string `json:"addr"`
+	Connected bool   `json:"connected"`
+}
+
+// TraceTail mirrors one element of hanode's /trace response: a node's
+// flight-recorder tail.
+type TraceTail struct {
+	Node   int           `json:"node"`
+	Events []trace.Event `json:"events"`
+}
+
+// NodeState is everything one scrape learned about one node. A node
+// that could not be reached keeps Err set and the rest zero — the
+// observatory degrades per node, never fails a whole poll.
+type NodeState struct {
+	Target  string `json:"target"`
+	Healthy bool   `json:"healthy"`
+	Err     string `json:"err,omitempty"`
+
+	Health  Health      `json:"health"`
+	Metrics Metrics     `json:"-"`
+	Trace   []TraceTail `json:"-"`
+}
+
+// Client scrapes fragdb nodes' debug endpoints. The zero value uses a
+// default HTTP client with a 5s timeout.
+type Client struct {
+	HTTP *http.Client
+	// TraceN bounds the /trace tail per scrape (0 = the node's full
+	// ring).
+	TraceN int
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c != nil && c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+// Scrape polls one node's /healthz, /metrics, and /trace. Partial
+// results are kept: a node whose /trace errors still contributes its
+// metrics. Err records the first failure.
+func (c *Client) Scrape(target string) NodeState {
+	st := NodeState{Target: target}
+	hc := c.httpClient()
+	base := "http://" + target
+
+	fail := func(err error) {
+		if st.Err == "" {
+			st.Err = err.Error()
+		}
+	}
+
+	if body, err := getBody(hc, base+"/healthz"); err != nil {
+		fail(err)
+	} else if err := json.Unmarshal(body, &st.Health); err != nil {
+		fail(fmt.Errorf("healthz: %w", err))
+	} else {
+		st.Healthy = true
+	}
+
+	if body, err := getBody(hc, base+"/metrics"); err != nil {
+		fail(err)
+	} else {
+		m, err := ParsePromText(bytes.NewReader(body))
+		if err != nil {
+			fail(fmt.Errorf("metrics: %w", err))
+		}
+		st.Metrics = m
+	}
+
+	traceURL := base + "/trace"
+	if c != nil && c.TraceN > 0 {
+		traceURL = fmt.Sprintf("%s?n=%d", traceURL, c.TraceN)
+	}
+	if body, err := getBody(hc, traceURL); err != nil {
+		fail(err)
+	} else if err := json.Unmarshal(body, &st.Trace); err != nil {
+		fail(fmt.Errorf("trace: %w", err))
+	}
+	return st
+}
+
+// ScrapeAll polls every target concurrently and returns states in
+// target order.
+func (c *Client) ScrapeAll(targets []string) []NodeState {
+	out := make([]NodeState, len(targets))
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		wg.Add(1)
+		go func(i int, t string) {
+			defer wg.Done()
+			out[i] = c.Scrape(t)
+		}(i, t)
+	}
+	wg.Wait()
+	return out
+}
+
+func getBody(hc *http.Client, url string) ([]byte, error) {
+	resp, err := hc.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return body, nil
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fragdb/internal/trace"
+	"fragdb/internal/txn"
+)
+
+// fakeNode serves the hanode debug surface (/healthz, /metrics,
+// /trace) from fixed fixtures, so the scraper and snapshot builder can
+// be tested against in-process servers.
+func fakeNode(t *testing.T, health Health, metricsText string, tails []TraceTail) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(health)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, metricsText)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(tails)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func target(srv *httptest.Server) string { return strings.TrimPrefix(srv.URL, "http://") }
+
+// TestScrapeUnderPartition stands up two in-process hanode-style
+// servers that each report the other side unreachable (a central-node
+// partition as both halves see it), plus one target that is down
+// entirely, and checks the observatory degrades per node while still
+// detecting the partition, aggregating the spectrum, and correlating a
+// cross-node timeline from the two live rings.
+func TestScrapeUnderPartition(t *testing.T) {
+	tx := txn.ID{Origin: 0, Seq: 41}
+
+	node0 := fakeNode(t,
+		Health{ID: 0, Option: "read-locks", Peers: []PeerHealth{{ID: 1, Addr: "x", Connected: false}}},
+		`fragdb_frag_reads_total{frag="BALANCES",node="0"} 9
+fragdb_frag_commits_total{frag="BALANCES",node="0"} 5
+fragdb_frag_aborts_total{frag="BALANCES",node="0",cause="timeout"} 2
+fragdb_frag_info{frag="BALANCES",option="read-locks",commutative="false"} 1
+fragdb_frag_info{frag="CTR(1)",option="unrestricted",commutative="true"} 1
+fragdb_frag_commit_latency_seconds_bucket{frag="BALANCES",node="0",le="0.001"} 3
+fragdb_frag_commit_latency_seconds_bucket{frag="BALANCES",node="0",le="+Inf"} 5
+`,
+		[]TraceTail{{Node: 0, Events: []trace.Event{
+			{T: ms(10), Node: 0, Kind: trace.KSubmit, Txn: tx},
+			{T: ms(15), Node: 0, Kind: trace.KCommit, Txn: tx, Dur: 5 * time.Millisecond},
+		}}})
+
+	node1 := fakeNode(t,
+		Health{ID: 1, Option: "read-locks", Peers: []PeerHealth{{ID: 0, Addr: "x", Connected: false}}},
+		`fragdb_frag_commits_total{frag="BALANCES",node="1"} 2
+fragdb_frag_applies_total{frag="CTR(1)",node="0"} 3
+fragdb_frag_info{frag="BALANCES",option="read-locks",commutative="false"} 1
+fragdb_frag_commit_latency_seconds_bucket{frag="BALANCES",node="1",le="0.001"} 1
+fragdb_frag_commit_latency_seconds_bucket{frag="BALANCES",node="1",le="+Inf"} 2
+`,
+		[]TraceTail{{Node: 1, Events: []trace.Event{
+			{T: ms(9), Node: 1, Kind: trace.KQuasiApply, Txn: tx, Frag: "BALANCES",
+				Pos: txn.FragPos{Epoch: 0, Seq: 41}, Dur: 2 * time.Millisecond},
+		}}})
+
+	c := &Client{HTTP: &http.Client{Timeout: 2 * time.Second}}
+	states := c.ScrapeAll([]string{target(node0), target(node1), "127.0.0.1:1"})
+
+	if !states[0].Healthy || !states[1].Healthy {
+		t.Fatalf("live nodes should scrape healthy: %+v %+v", states[0].Err, states[1].Err)
+	}
+	if states[2].Healthy || states[2].Err == "" {
+		t.Fatalf("dead target should record its error: %+v", states[2])
+	}
+
+	snap := BuildSnapshot(states, 1234)
+	if snap.Schema != SnapshotSchema || snap.TakenUnixMS != 1234 {
+		t.Errorf("snapshot header: %+v", snap)
+	}
+
+	// Partition: both directions down, two singleton groups.
+	if !snap.Partition.Detected {
+		t.Fatalf("partition not detected: %+v", snap.Partition)
+	}
+	if len(snap.Partition.Groups) != 2 {
+		t.Fatalf("want 2 groups, got %v", snap.Partition.Groups)
+	}
+	if len(snap.Partition.DownLinks) != 2 {
+		t.Errorf("want both down directions, got %v", snap.Partition.DownLinks)
+	}
+
+	// Spectrum: read-locks class sums commits across nodes; the
+	// commutative class carries the applies.
+	byClass := map[string]ClassStats{}
+	for _, cs := range snap.Classes {
+		byClass[cs.Class] = cs
+	}
+	rl, ok := byClass["read-locks"]
+	if !ok {
+		t.Fatalf("no read-locks class: %+v", snap.Classes)
+	}
+	if rl.Commits != 7 || rl.Aborts != 2 || rl.AbortCauses["timeout"] != 2 {
+		t.Errorf("read-locks class: want commits=7 aborts=2(timeout), got %+v", rl)
+	}
+	if rl.P50 != 0.001 {
+		t.Errorf("read-locks p50 from merged buckets: want 0.001, got %v", rl.P50)
+	}
+	cm, ok := byClass["commutative"]
+	if !ok || cm.Applies != 3 {
+		t.Errorf("commutative class: want applies=3, got %+v (ok=%v)", cm, ok)
+	}
+
+	// Hotspots: BALANCES ranks first and carries the per-origin-node
+	// breakdown.
+	if len(snap.Hotspots) == 0 || snap.Hotspots[0].Frag != "BALANCES" {
+		t.Fatalf("BALANCES should be the top hotspot: %+v", snap.Hotspots)
+	}
+	hs := snap.Hotspots[0]
+	if len(hs.ByNode) != 2 || hs.ByNode[0].Node != 0 || hs.ByNode[1].Node != 1 {
+		t.Fatalf("hotspot by-node breakdown: %+v", hs.ByNode)
+	}
+	if hs.ByNode[0].Commits != 5 || hs.ByNode[1].Commits != 2 {
+		t.Errorf("per-node commits: %+v", hs.ByNode)
+	}
+
+	// Timelines: the submit/commit on node 0 correlated with the apply
+	// scraped from node 1.
+	if len(snap.Timelines) != 1 {
+		t.Fatalf("want 1 timeline, got %+v", snap.Timelines)
+	}
+	tl := snap.Timelines[0]
+	if !tl.CrossNode || !tl.Complete || !tl.Committed {
+		t.Errorf("timeline should be cross-node complete committed: %+v", tl)
+	}
+	if len(tl.Events) != 3 {
+		t.Errorf("want 3 correlated events, got %v", tl.Events)
+	}
+
+	// The text report renders without exploding and mentions the
+	// partition.
+	text := snap.Render(5, 3)
+	if !strings.Contains(text, "PARTITION detected") || !strings.Contains(text, "read-locks") {
+		t.Errorf("render missing expected sections:\n%s", text)
+	}
+}
+
+func TestFillRates(t *testing.T) {
+	prev := &Snapshot{Classes: []ClassStats{{Class: "read-locks", Commits: 10, Aborts: 1}}}
+	cur := &Snapshot{Classes: []ClassStats{
+		{Class: "read-locks", Commits: 30, Aborts: 1},
+		{Class: "commutative", Commits: 4},
+	}}
+	cur.FillRates(prev, 4)
+	if cur.Classes[0].CommitsPerSec != 5 {
+		t.Errorf("commit rate: want 5/s, got %v", cur.Classes[0].CommitsPerSec)
+	}
+	if cur.Classes[0].AbortsPerSec != 0 {
+		t.Errorf("abort rate: want 0, got %v", cur.Classes[0].AbortsPerSec)
+	}
+	// A class with no previous row keeps zero rates.
+	if cur.Classes[1].CommitsPerSec != 0 {
+		t.Errorf("new class rate: want 0, got %v", cur.Classes[1].CommitsPerSec)
+	}
+	// A restarted node (counter shrank) clamps to zero, not negative.
+	shrunk := &Snapshot{Classes: []ClassStats{{Class: "read-locks", Commits: 3}}}
+	shrunk.FillRates(prev, 4)
+	if shrunk.Classes[0].CommitsPerSec != 0 {
+		t.Errorf("shrunk counter: want clamped 0, got %v", shrunk.Classes[0].CommitsPerSec)
+	}
+}

@@ -1,0 +1,580 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fragdb/internal/metrics"
+)
+
+// Full exported family names (the rtnet exporter prefixes every family
+// with "fragdb_").
+const promPrefix = "fragdb_"
+
+func fam(name string) string { return promPrefix + name }
+
+// ClassStats is one row of the availability spectrum: totals and
+// latency quantiles for every fragment sharing a transaction class.
+// Classes follow the paper's taxonomy: commutative fragments form
+// their own class (always available under partition), non-commutative
+// fragments are classed by their control option (unrestricted §4.3,
+// acyclic-reads §4.2, read-locks §4.1).
+type ClassStats struct {
+	Class string   `json:"class"`
+	Frags []string `json:"frags"`
+
+	Reads   float64 `json:"reads"`
+	Writes  float64 `json:"writes"`
+	Commits float64 `json:"commits"`
+	Aborts  float64 `json:"aborts"`
+	Applies float64 `json:"applies"`
+
+	AbortCauses map[string]float64 `json:"abort_causes,omitempty"`
+
+	// Rates are deltas against the previous snapshot (zero on the
+	// first poll or in one-shot mode).
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	AbortsPerSec  float64 `json:"aborts_per_sec"`
+
+	// Commit-latency quantile upper bounds, seconds, merged across
+	// every node's per-fragment histogram.
+	P50 float64 `json:"p50_s"`
+	P95 float64 `json:"p95_s"`
+	P99 float64 `json:"p99_s"`
+}
+
+// NodeCell is one node's share of a hotspot fragment's traffic.
+type NodeCell struct {
+	Node    int     `json:"node"`
+	Reads   float64 `json:"reads"`
+	Writes  float64 `json:"writes"`
+	Commits float64 `json:"commits"`
+	Aborts  float64 `json:"aborts"`
+	Applies float64 `json:"applies"`
+}
+
+// Hotspot is one fragment's traffic with its per-origin-node
+// breakdown, ranked by total touches.
+type Hotspot struct {
+	Frag        string  `json:"frag"`
+	Class       string  `json:"class"`
+	Option      string  `json:"option"`
+	Commutative bool    `json:"commutative"`
+	Total       float64 `json:"total"`
+
+	Reads         float64 `json:"reads"`
+	Writes        float64 `json:"writes"`
+	Commits       float64 `json:"commits"`
+	Aborts        float64 `json:"aborts"`
+	Applies       float64 `json:"applies"`
+	LockWaits     float64 `json:"lock_waits"`
+	RemoteDenials float64 `json:"remote_denials"`
+	Forwards      float64 `json:"forwards"`
+
+	ByNode []NodeCell `json:"by_node"`
+}
+
+// Link is one failed direction of peer connectivity.
+type Link struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// PartitionInfo is the cluster connectivity picture derived from every
+// node's /healthz: which directed links are down and the resulting
+// node groups (connected components; a healthy cluster has one).
+type PartitionInfo struct {
+	Detected  bool    `json:"detected"`
+	Groups    [][]int `json:"groups"`
+	DownLinks []Link  `json:"down_links,omitempty"`
+}
+
+// NodeSummary is one scraped node's identity row in a snapshot.
+type NodeSummary struct {
+	ID      int    `json:"id"`
+	Target  string `json:"target"`
+	Healthy bool   `json:"healthy"`
+	Err     string `json:"err,omitempty"`
+	Option  string `json:"option,omitempty"`
+}
+
+// TimelineSummary is a snapshot-friendly rendering of a merged
+// timeline: the event lines, not the raw structs.
+type TimelineSummary struct {
+	Txn       string   `json:"txn"`
+	Epoch     uint64   `json:"epoch"`
+	Nodes     []int    `json:"nodes"`
+	CrossNode bool     `json:"cross_node"`
+	Complete  bool     `json:"complete"`
+	Committed bool     `json:"committed"`
+	Aborted   bool     `json:"aborted"`
+	Cause     string   `json:"cause,omitempty"`
+	Events    []string `json:"events"`
+}
+
+// Snapshot is one observatory poll: the availability spectrum, the
+// hotspot table, partition state, and correlated timelines. It is the
+// JSON artifact haobs writes.
+type Snapshot struct {
+	Schema      string `json:"schema"`
+	TakenUnixMS int64  `json:"taken_unix_ms,omitempty"`
+
+	Nodes     []NodeSummary     `json:"nodes"`
+	Partition PartitionInfo     `json:"partition"`
+	Classes   []ClassStats      `json:"classes"`
+	Hotspots  []Hotspot         `json:"hotspots"`
+	Timelines []TimelineSummary `json:"timelines,omitempty"`
+}
+
+// SnapshotSchema versions the snapshot artifact.
+const SnapshotSchema = "fragdb-obs/1"
+
+// fragClass describes one fragment as learned from frag_info.
+type fragClass struct {
+	option      string
+	commutative bool
+}
+
+func (fc fragClass) class() string {
+	if fc.commutative {
+		return "commutative"
+	}
+	if fc.option == "" {
+		return "unknown"
+	}
+	return fc.option
+}
+
+// BuildSnapshot merges one poll's node states into a Snapshot.
+// takenUnixMS is the caller's wall clock (obs itself never reads one);
+// pass 0 when determinism matters more than the stamp.
+func BuildSnapshot(states []NodeState, takenUnixMS int64) *Snapshot {
+	snap := &Snapshot{Schema: SnapshotSchema, TakenUnixMS: takenUnixMS}
+
+	for _, st := range states {
+		snap.Nodes = append(snap.Nodes, NodeSummary{
+			ID: st.Health.ID, Target: st.Target,
+			Healthy: st.Healthy, Err: st.Err, Option: st.Health.Option,
+		})
+	}
+	snap.Partition = detectPartition(states)
+
+	frags := fragClasses(states)
+	snap.Classes = buildClasses(states, frags)
+	snap.Hotspots = buildHotspots(states, frags)
+
+	var tails []TraceTail
+	for _, st := range states {
+		tails = append(tails, st.Trace...)
+	}
+	for _, tl := range MergeTimelines(tails) {
+		snap.Timelines = append(snap.Timelines, Summarize(tl))
+	}
+	return snap
+}
+
+// FillRates computes per-second commit/abort rates against a previous
+// snapshot taken dtSeconds earlier. Classes are matched by name;
+// counters that shrank (a node restarted) clamp to zero.
+func (s *Snapshot) FillRates(prev *Snapshot, dtSeconds float64) {
+	if prev == nil || dtSeconds <= 0 {
+		return
+	}
+	prevBy := map[string]ClassStats{}
+	for _, c := range prev.Classes {
+		prevBy[c.Class] = c
+	}
+	for i := range s.Classes {
+		p, ok := prevBy[s.Classes[i].Class]
+		if !ok {
+			continue
+		}
+		s.Classes[i].CommitsPerSec = rate(s.Classes[i].Commits, p.Commits, dtSeconds)
+		s.Classes[i].AbortsPerSec = rate(s.Classes[i].Aborts, p.Aborts, dtSeconds)
+	}
+}
+
+func rate(cur, prev, dt float64) float64 {
+	d := cur - prev
+	if d < 0 {
+		d = 0
+	}
+	return d / dt
+}
+
+// fragClasses merges every node's frag_info into one fragment→class
+// map (nodes agree on the schema; the union tolerates a node that was
+// unreachable this poll).
+func fragClasses(states []NodeState) map[string]fragClass {
+	out := map[string]fragClass{}
+	for _, st := range states {
+		st.Metrics.Each(fam(metrics.FamFragInfo), func(s Sample) {
+			f := s.Label("frag")
+			if f == "" {
+				return
+			}
+			out[f] = fragClass{
+				option:      s.Label("option"),
+				commutative: s.Label("commutative") == "true",
+			}
+		})
+	}
+	return out
+}
+
+func buildClasses(states []NodeState, frags map[string]fragClass) []ClassStats {
+	byClass := map[string]*ClassStats{}
+	classOf := func(frag string) *ClassStats {
+		name := frags[frag].class()
+		c := byClass[name]
+		if c == nil {
+			c = &ClassStats{Class: name, AbortCauses: map[string]float64{}}
+			byClass[name] = c
+		}
+		return c
+	}
+	fragSets := map[string]map[string]bool{}
+	addFrag := func(class, frag string) {
+		set := fragSets[class]
+		if set == nil {
+			set = map[string]bool{}
+			fragSets[class] = set
+		}
+		set[frag] = true
+	}
+	for frag, fc := range frags {
+		classOf(frag) // materialize every known class
+		addFrag(fc.class(), frag)
+	}
+
+	for _, st := range states {
+		each := func(famName string, add func(c *ClassStats, v float64)) {
+			st.Metrics.Each(fam(famName), func(s Sample) {
+				frag := s.Label("frag")
+				if frag == "" {
+					return
+				}
+				add(classOf(frag), s.Value)
+			})
+		}
+		each(metrics.FamFragReads, func(c *ClassStats, v float64) { c.Reads += v })
+		each(metrics.FamFragWrites, func(c *ClassStats, v float64) { c.Writes += v })
+		each(metrics.FamFragCommits, func(c *ClassStats, v float64) { c.Commits += v })
+		each(metrics.FamFragApplies, func(c *ClassStats, v float64) { c.Applies += v })
+		st.Metrics.Each(fam(metrics.FamFragAborts), func(s Sample) {
+			frag := s.Label("frag")
+			if frag == "" {
+				return
+			}
+			c := classOf(frag)
+			c.Aborts += s.Value
+			c.AbortCauses[s.Label("cause")] += s.Value
+		})
+	}
+
+	// Latency quantiles: merge every member fragment's commit-latency
+	// buckets across all nodes.
+	out := make([]ClassStats, 0, len(byClass))
+	for name, c := range byClass {
+		var buckets []HistBucket
+		for frag := range fragSets[name] {
+			for _, st := range states {
+				buckets = mergeBuckets(buckets,
+					st.Metrics.HistBuckets(fam(metrics.FamFragCommitLatency), map[string]string{"frag": frag}))
+			}
+			c.Frags = append(c.Frags, frag)
+		}
+		sort.Strings(c.Frags)
+		c.P50 = Quantile(buckets, 0.50)
+		c.P95 = Quantile(buckets, 0.95)
+		c.P99 = Quantile(buckets, 0.99)
+		if len(c.AbortCauses) == 0 {
+			c.AbortCauses = nil
+		}
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+// mergeBuckets sums two merged-bucket lists by upper bound.
+func mergeBuckets(a, b []HistBucket) []HistBucket {
+	if len(b) == 0 {
+		return a
+	}
+	counts := map[float64]float64{}
+	for _, x := range a {
+		counts[x.Upper] += x.Count
+	}
+	for _, x := range b {
+		counts[x.Upper] += x.Count
+	}
+	out := make([]HistBucket, 0, len(counts))
+	for le, c := range counts {
+		out = append(out, HistBucket{Upper: le, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Upper < out[j].Upper })
+	return out
+}
+
+func buildHotspots(states []NodeState, frags map[string]fragClass) []Hotspot {
+	rows := map[string]*Hotspot{}
+	cells := map[string]map[int]*NodeCell{}
+	rowOf := func(frag string) *Hotspot {
+		h := rows[frag]
+		if h == nil {
+			fc := frags[frag]
+			h = &Hotspot{Frag: frag, Class: fc.class(), Option: fc.option, Commutative: fc.commutative}
+			rows[frag] = h
+			cells[frag] = map[int]*NodeCell{}
+		}
+		return h
+	}
+	cellOf := func(frag string, node int) *NodeCell {
+		rowOf(frag)
+		c := cells[frag][node]
+		if c == nil {
+			c = &NodeCell{Node: node}
+			cells[frag][node] = c
+		}
+		return c
+	}
+	nodeOf := func(s Sample) int {
+		n, err := strconv.Atoi(s.Label("node"))
+		if err != nil {
+			return -1
+		}
+		return n
+	}
+
+	for _, st := range states {
+		each := func(famName string, add func(h *Hotspot, c *NodeCell, v float64)) {
+			st.Metrics.Each(fam(famName), func(s Sample) {
+				frag := s.Label("frag")
+				if frag == "" {
+					return
+				}
+				add(rowOf(frag), cellOf(frag, nodeOf(s)), s.Value)
+			})
+		}
+		each(metrics.FamFragReads, func(h *Hotspot, c *NodeCell, v float64) { h.Reads += v; c.Reads += v })
+		each(metrics.FamFragWrites, func(h *Hotspot, c *NodeCell, v float64) { h.Writes += v; c.Writes += v })
+		each(metrics.FamFragCommits, func(h *Hotspot, c *NodeCell, v float64) { h.Commits += v; c.Commits += v })
+		each(metrics.FamFragAborts, func(h *Hotspot, c *NodeCell, v float64) { h.Aborts += v; c.Aborts += v })
+		each(metrics.FamFragApplies, func(h *Hotspot, c *NodeCell, v float64) { h.Applies += v; c.Applies += v })
+		each(metrics.FamFragLockWaits, func(h *Hotspot, c *NodeCell, v float64) { h.LockWaits += v })
+		each(metrics.FamFragRemoteDenials, func(h *Hotspot, c *NodeCell, v float64) { h.RemoteDenials += v })
+		each(metrics.FamFragForwards, func(h *Hotspot, c *NodeCell, v float64) { h.Forwards += v })
+	}
+
+	out := make([]Hotspot, 0, len(rows))
+	for frag, h := range rows {
+		h.Total = h.Reads + h.Writes + h.Applies
+		for _, c := range cells[frag] {
+			h.ByNode = append(h.ByNode, *c)
+		}
+		sort.Slice(h.ByNode, func(i, j int) bool { return h.ByNode[i].Node < h.ByNode[j].Node })
+		out = append(out, *h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Frag < out[j].Frag
+	})
+	return out
+}
+
+// detectPartition derives the cluster connectivity picture from every
+// healthy node's healthz peer rows. A link is down when either
+// direction reports disconnected; groups are connected components over
+// the remaining links. Unreachable nodes contribute no rows — their
+// links are judged by their peers' view alone.
+func detectPartition(states []NodeState) PartitionInfo {
+	ids := map[int]bool{}
+	down := map[Link]bool{}
+	for _, st := range states {
+		if !st.Healthy {
+			continue
+		}
+		ids[st.Health.ID] = true
+		for _, p := range st.Health.Peers {
+			ids[p.ID] = true
+			if !p.Connected {
+				down[Link{From: st.Health.ID, To: p.ID}] = true
+			}
+		}
+	}
+	info := PartitionInfo{}
+	for l := range down {
+		info.DownLinks = append(info.DownLinks, l)
+	}
+	sort.Slice(info.DownLinks, func(i, j int) bool {
+		a, b := info.DownLinks[i], info.DownLinks[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+
+	// Connected components over undirected links that are up in both
+	// directions.
+	var nodes []int
+	for id := range ids {
+		nodes = append(nodes, id)
+	}
+	sort.Ints(nodes)
+	parent := map[int]int{}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, n := range nodes {
+		parent[n] = n
+	}
+	for i, a := range nodes {
+		for _, b := range nodes[i+1:] {
+			if down[Link{From: a, To: b}] || down[Link{From: b, To: a}] {
+				continue
+			}
+			parent[find(a)] = find(b)
+		}
+	}
+	groups := map[int][]int{}
+	for _, n := range nodes {
+		r := find(n)
+		groups[r] = append(groups[r], n)
+	}
+	for _, g := range groups {
+		sort.Ints(g)
+		info.Groups = append(info.Groups, g)
+	}
+	sort.Slice(info.Groups, func(i, j int) bool { return info.Groups[i][0] < info.Groups[j][0] })
+	info.Detected = len(info.DownLinks) > 0 || len(info.Groups) > 1
+	return info
+}
+
+func Summarize(tl Timeline) TimelineSummary {
+	s := TimelineSummary{
+		Txn: tl.Txn.String(), Epoch: tl.Epoch, Nodes: tl.Nodes,
+		CrossNode: tl.CrossNode(), Complete: tl.Complete,
+		Committed: tl.Committed, Aborted: tl.Aborted, Cause: tl.Cause,
+	}
+	for _, e := range tl.Events {
+		s.Events = append(s.Events, e.String())
+	}
+	return s
+}
+
+// Render formats the snapshot as the operator-facing text report: the
+// availability spectrum table, the hotspot table with per-node
+// breakdown, partition state, and cross-node timeline count.
+func (s *Snapshot) Render(topHotspots, topTimelines int) string {
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "nodes:")
+	for _, n := range s.Nodes {
+		state := "up"
+		if !n.Healthy {
+			state = "DOWN(" + n.Err + ")"
+		}
+		fmt.Fprintf(&b, " %d@%s=%s", n.ID, n.Target, state)
+	}
+	b.WriteByte('\n')
+
+	if s.Partition.Detected {
+		fmt.Fprintf(&b, "PARTITION detected: groups=%v down-links=%v\n", s.Partition.Groups, s.Partition.DownLinks)
+	} else {
+		b.WriteString("partition: none\n")
+	}
+
+	b.WriteString("\navailability spectrum (per transaction class):\n")
+	fmt.Fprintf(&b, "  %-14s %10s %10s %9s %9s %8s %8s %8s  %s\n",
+		"class", "commits", "aborts", "commit/s", "abort/s", "p50", "p95", "p99", "causes")
+	for _, c := range s.Classes {
+		causes := ""
+		if len(c.AbortCauses) > 0 {
+			keys := make([]string, 0, len(c.AbortCauses))
+			for k := range c.AbortCauses {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, 0, len(keys))
+			for _, k := range keys {
+				parts = append(parts, fmt.Sprintf("%s=%g", k, c.AbortCauses[k]))
+			}
+			causes = strings.Join(parts, ",")
+		}
+		fmt.Fprintf(&b, "  %-14s %10g %10g %9.1f %9.1f %8s %8s %8s  %s\n",
+			c.Class, c.Commits, c.Aborts, c.CommitsPerSec, c.AbortsPerSec,
+			fmtSecs(c.P50), fmtSecs(c.P95), fmtSecs(c.P99), causes)
+	}
+
+	b.WriteString("\nhotspots (per fragment, by origin node):\n")
+	n := len(s.Hotspots)
+	if topHotspots > 0 && topHotspots < n {
+		n = topHotspots
+	}
+	for _, h := range s.Hotspots[:n] {
+		fmt.Fprintf(&b, "  %-12s class=%-13s total=%g r=%g w=%g c=%g a=%g apply=%g waits=%g denials=%g fwd=%g\n",
+			h.Frag, h.Class, h.Total, h.Reads, h.Writes, h.Commits, h.Aborts, h.Applies,
+			h.LockWaits, h.RemoteDenials, h.Forwards)
+		for _, c := range h.ByNode {
+			fmt.Fprintf(&b, "    node %d: r=%g w=%g c=%g a=%g apply=%g\n",
+				c.Node, c.Reads, c.Writes, c.Commits, c.Aborts, c.Applies)
+		}
+	}
+
+	cross, complete := 0, 0
+	for _, tl := range s.Timelines {
+		if tl.CrossNode {
+			cross++
+		}
+		if tl.Complete {
+			complete++
+		}
+	}
+	fmt.Fprintf(&b, "\ntimelines: %d correlated (%d cross-node, %d complete)\n",
+		len(s.Timelines), cross, complete)
+	shown := 0
+	for _, tl := range s.Timelines {
+		if !tl.CrossNode || !tl.Complete {
+			continue
+		}
+		if topTimelines > 0 && shown >= topTimelines {
+			break
+		}
+		shown++
+		fmt.Fprintf(&b, "  %s epoch=%d nodes=%v", tl.Txn, tl.Epoch, tl.Nodes)
+		switch {
+		case tl.Committed:
+			b.WriteString(" commit\n")
+		case tl.Aborted:
+			fmt.Fprintf(&b, " abort(%s)\n", tl.Cause)
+		default:
+			b.WriteByte('\n')
+		}
+		for _, line := range tl.Events {
+			fmt.Fprintf(&b, "    %s\n", line)
+		}
+	}
+	return b.String()
+}
+
+func fmtSecs(v float64) string {
+	switch {
+	case v == 0:
+		return "-"
+	case v < 0.001:
+		return fmt.Sprintf("%.0fµs", v*1e6)
+	case v < 1:
+		return fmt.Sprintf("%.1fms", v*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", v)
+	}
+}

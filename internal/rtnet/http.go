@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -13,12 +14,21 @@ import (
 
 // DebugVars bundles the observability state a live deployment exposes
 // over HTTP: the engine counters (with their latency histograms), the
-// broadcast gauges, and the per-node flight recorders. Any field may be
-// nil; the handler simply omits what is absent.
+// broadcast gauges, the labeled per-fragment registry, and the per-node
+// flight recorders. Any field may be nil; the handler simply omits what
+// is absent.
 type DebugVars struct {
 	Counters  *metrics.Counters
 	Broadcast *metrics.Broadcast
-	Tracers   []*trace.Recorder
+	// Registry, when non-nil, adds the labeled per-fragment families
+	// (frag_*_total, frag_info, broadcast_stream_delivered_total) to
+	// /metrics — the access-pattern matrix cmd/haobs consumes.
+	Registry *metrics.Registry
+	Tracers  []*trace.Recorder
+	// Runtime adds Go runtime gauges (goroutines, heap bytes, GC pause
+	// total and cycle count) to /metrics, for correlating engine
+	// behavior with process health.
+	Runtime bool
 }
 
 // NewDebugHandler serves the debug endpoints:
@@ -90,6 +100,92 @@ func writePrometheus(w http.ResponseWriter, v DebugVars) {
 		writeCountHistogram(w, "broadcast_batch_size",
 			"Payloads per data message, by message.", &b.BatchSize)
 	}
+	if v.Registry != nil {
+		writeRegistry(w, v.Registry)
+	}
+	if v.Runtime {
+		writeRuntime(w)
+	}
+}
+
+// writeRegistry renders the labeled registry's metric families. Every
+// Fam* family declared by the metrics package must be rendered here —
+// the declaration below lets halint's metricexported analyzer verify
+// that this function references each family-name constant.
+//
+//halint:metricexporter metrics
+func writeRegistry(w http.ResponseWriter, reg *metrics.Registry) {
+	counterVec := func(name, help string, samples []metrics.CounterSample) {
+		fmt.Fprintf(w, "# HELP fragdb_%s %s\n# TYPE fragdb_%s counter\n", name, help, name)
+		for _, s := range samples {
+			fmt.Fprintf(w, "fragdb_%s{frag=%q,node=\"%d\"} %d\n", name, string(s.Frag), int(s.Node), s.Value)
+		}
+	}
+	counterVec(metrics.FamFragReads,
+		"Declared reads per fragment and originating node.", reg.Reads.Samples())
+	counterVec(metrics.FamFragWrites,
+		"Declared writes per fragment and originating node.", reg.Writes.Samples())
+	counterVec(metrics.FamFragCommits,
+		"Committed transactions per fragment and home node.", reg.Commits.Samples())
+	counterVec(metrics.FamFragLockWaits,
+		"Lock acquisitions that queued, per fragment and requesting node.", reg.LockWaits.Samples())
+	counterVec(metrics.FamFragRemoteDenials,
+		"Remote read-lock requests denied, per fragment and requester.", reg.RemoteDenials.Samples())
+	counterVec(metrics.FamFragApplies,
+		"Quasi-transactions installed, per fragment and origin home.", reg.Applies.Samples())
+	counterVec(metrics.FamFragForwards,
+		"Old-epoch quasi-transactions forwarded, per fragment and origin.", reg.Forwards.Samples())
+	counterVec(metrics.FamStreamDelivered,
+		"Broadcast payloads delivered, per origin node.", reg.Delivered.Samples())
+
+	fmt.Fprintf(w, "# HELP fragdb_%s Aborted transactions per fragment, node, and cause.\n# TYPE fragdb_%s counter\n",
+		metrics.FamFragAborts, metrics.FamFragAborts)
+	for _, s := range reg.Aborts.Samples() {
+		fmt.Fprintf(w, "fragdb_%s{frag=%q,node=\"%d\",cause=%q} %d\n",
+			metrics.FamFragAborts, string(s.Frag), int(s.Node), s.Cause, s.Value)
+	}
+
+	histVec := func(name, help string, samples []metrics.HistSample) {
+		fmt.Fprintf(w, "# HELP fragdb_%s %s\n# TYPE fragdb_%s histogram\n", name, help, name)
+		for _, s := range samples {
+			labels := fmt.Sprintf("frag=%q,node=\"%d\"", string(s.Frag), int(s.Node))
+			cum := uint64(0)
+			for _, b := range s.Snap.Buckets() {
+				cum += b.Count
+				fmt.Fprintf(w, "fragdb_%s_bucket{%s,le=%q} %d\n",
+					name, labels, formatLE(b.Upper.Seconds()), cum)
+			}
+			fmt.Fprintf(w, "fragdb_%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, s.Snap.Count)
+			fmt.Fprintf(w, "fragdb_%s_sum{%s} %g\n", name, labels, s.Snap.Sum.Seconds())
+			fmt.Fprintf(w, "fragdb_%s_count{%s} %d\n", name, labels, s.Snap.Count)
+		}
+	}
+	histVec(metrics.FamFragCommitLatency,
+		"Submit-to-commit latency per fragment and home node.", reg.CommitLatency.Samples())
+	histVec(metrics.FamFragQuasiLag,
+		"Propagation lag per fragment and origin home.", reg.QuasiLag.Samples())
+
+	fmt.Fprintf(w, "# HELP fragdb_%s Fragment class metadata (control option, commutativity); value is always 1.\n# TYPE fragdb_%s gauge\n",
+		metrics.FamFragInfo, metrics.FamFragInfo)
+	for _, s := range reg.FragInfos() {
+		fmt.Fprintf(w, "fragdb_%s{frag=%q,option=%q,commutative=\"%t\"} 1\n",
+			metrics.FamFragInfo, string(s.Frag), s.Info.Option, s.Info.Commutative)
+	}
+}
+
+// writeRuntime renders Go runtime health gauges. ReadMemStats is a
+// stop-the-world call measured in microseconds — fine at scrape rates.
+func writeRuntime(w http.ResponseWriter) {
+	gauge := func(name, help string, val float64) {
+		fmt.Fprintf(w, "# HELP fragdb_%s %s\n# TYPE fragdb_%s gauge\nfragdb_%s %g\n",
+			name, help, name, name, val)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge("go_goroutines", "Live goroutines.", float64(runtime.NumGoroutine()))
+	gauge("go_heap_alloc_bytes", "Heap bytes allocated and in use.", float64(ms.HeapAlloc))
+	gauge("go_gc_pause_total_seconds", "Cumulative stop-the-world GC pause.", float64(ms.PauseTotalNs)/1e9)
+	gauge("go_gc_cycles_total", "Completed GC cycles.", float64(ms.NumGC))
 }
 
 // writeHistogram renders one power-of-two histogram with cumulative

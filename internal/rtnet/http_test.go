@@ -44,7 +44,23 @@ func debugFixture() DebugVars {
 	}
 	tracers[1].Emit(trace.Event{Kind: trace.KSubmit, Note: "first"})
 	tracers[1].Emit(trace.Event{Kind: trace.KCommit, Note: "second"})
-	return DebugVars{Counters: c, Broadcast: b, Tracers: tracers}
+
+	reg := metrics.NewRegistry()
+	reg.IncRead("BALANCES", 1)
+	reg.IncRead("BALANCES", 1)
+	reg.IncWrite("BALANCES", 0)
+	reg.IncCommit("BALANCES", 0)
+	reg.ObserveCommitLatency("BALANCES", 0, 5*time.Millisecond)
+	reg.IncAbort("BALANCES", 2, "timeout")
+	reg.IncLockWait("BALANCES", 1)
+	reg.IncRemoteDeny("BALANCES", 2)
+	reg.IncApply("CTR(1)", 1)
+	reg.ObserveQuasiLag("CTR(1)", 1, 12*time.Millisecond)
+	reg.IncForward("CTR(1)", 1)
+	reg.IncDelivered(1)
+	reg.SetFragInfo("BALANCES", metrics.FragInfo{Option: "read-locks"})
+	reg.SetFragInfo("CTR(1)", metrics.FragInfo{Option: "unrestricted", Commutative: true})
+	return DebugVars{Counters: c, Broadcast: b, Registry: reg, Tracers: tracers, Runtime: true}
 }
 
 func get(t *testing.T, path string) (int, string) {
@@ -93,6 +109,39 @@ func TestMetricsEndpoint(t *testing.T) {
 	// Cumulative bucket counts never decrease.
 	if !strings.Contains(body, "fragdb_commit_latency_seconds_bucket") {
 		t.Fatalf("no latency buckets rendered:\n%s", body)
+	}
+}
+
+func TestRegistryMetricsEndpoint(t *testing.T) {
+	code, body := get(t, "/metrics")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{
+		`fragdb_frag_reads_total{frag="BALANCES",node="1"} 2`,
+		`fragdb_frag_writes_total{frag="BALANCES",node="0"} 1`,
+		`fragdb_frag_commits_total{frag="BALANCES",node="0"} 1`,
+		`fragdb_frag_aborts_total{frag="BALANCES",node="2",cause="timeout"} 1`,
+		`fragdb_frag_lock_waits_total{frag="BALANCES",node="1"} 1`,
+		`fragdb_frag_remote_denials_total{frag="BALANCES",node="2"} 1`,
+		`fragdb_frag_applies_total{frag="CTR(1)",node="1"} 1`,
+		`fragdb_frag_forwards_total{frag="CTR(1)",node="1"} 1`,
+		`fragdb_broadcast_stream_delivered_total{frag="",node="1"} 1`,
+		`fragdb_frag_commit_latency_seconds_count{frag="BALANCES",node="0"} 1`,
+		`fragdb_frag_quasi_lag_seconds_count{frag="CTR(1)",node="1"} 1`,
+		`fragdb_frag_info{frag="BALANCES",option="read-locks",commutative="false"} 1`,
+		`fragdb_frag_info{frag="CTR(1)",option="unrestricted",commutative="true"} 1`,
+		"# TYPE fragdb_go_goroutines gauge",
+		"fragdb_go_heap_alloc_bytes",
+		"fragdb_go_gc_pause_total_seconds",
+		"fragdb_go_gc_cycles_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full body:\n%s", body)
 	}
 }
 

@@ -212,6 +212,41 @@ func (k Kind) String() string {
 // over HTTP are self-describing.
 func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
 
+// kindByName is the inverse of kindNames, built once for decoding.
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, kindCount)
+	for k, name := range kindNames {
+		if name != "" {
+			m[name] = Kind(k)
+		}
+	}
+	return m
+}()
+
+// KindFromName returns the kind with the given compact name, or
+// (KNone, false) when unknown.
+func KindFromName(name string) (Kind, bool) {
+	k, ok := kindByName[name]
+	return k, ok
+}
+
+// UnmarshalJSON parses the name form produced by MarshalJSON, so
+// scraped /trace tails decode back into Events. Unknown names decode
+// as KNone rather than erroring: a newer node's trace must not break
+// an older observer.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	kk, ok := kindByName[name]
+	if !ok {
+		kk = KNone
+	}
+	*k = kk
+	return nil
+}
+
 // Event is one recorded occurrence. It is a flat value — no pointers,
 // no allocation on record — and only the fields a kind defines are
 // meaningful; the rest stay zero. T and Node are stamped by the

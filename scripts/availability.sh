@@ -12,9 +12,12 @@
 #
 # The per-second commits/aborts timeline lands in
 # $RUNDIR/<option>.json; the per-phase summary table is printed and
-# written to $RUNDIR/availability.md. Expectation (paper §4): write-only
-# commutative traffic and unrestricted reads ride through the central
-# office partition, while read-locks traffic aborts on it.
+# written to $RUNDIR/availability.md. A background haobs watches the
+# cluster throughout each run and archives its final availability
+# spectrum (per-class rates, hotspots, partition view, cross-node
+# timelines) to $RUNDIR/<option>.spectrum.json. Expectation (paper §4):
+# write-only commutative traffic and unrestricted reads ride through
+# the central office partition, while read-locks traffic aborts on it.
 set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
@@ -22,16 +25,24 @@ export RUNDIR="${RUNDIR:-/tmp/fragdb-avail}"
 CLUSTER="$REPO/scripts/cluster.sh"
 TARGETS=127.0.0.1:8100,127.0.0.1:8101,127.0.0.1:8102
 OPTIONS=${OPTIONS:-"unrestricted read-locks acyclic-reads"}
-DURATION=45
+DURATION=${DURATION:-45}
 trap '"$CLUSTER" stop >/dev/null 2>&1 || true' EXIT
 
 mkdir -p "$RUNDIR"
 (cd "$REPO" && go build -o "$RUNDIR/haload" ./cmd/haload)
+(cd "$REPO" && go build -o "$RUNDIR/haobs" ./cmd/haobs)
 
 run_option() {
   local option="$1"
   echo "=== option: $option"
   "$CLUSTER" start 3 "$option"
+  # The observatory polls throughout the run; -out rewrites the
+  # snapshot atomically every poll, so whatever survives the kill below
+  # is the spectrum as of the final poll — partition view included.
+  "$RUNDIR/haobs" -targets "$TARGETS" -interval 2s \
+    -out "$RUNDIR/$option.spectrum.json" \
+    >"$RUNDIR/$option.haobs.txt" 2>&1 &
+  local obs_pid=$!
   "$RUNDIR/haload" -targets "$TARGETS" -clients 24 -duration ${DURATION}s \
     -quiet -out "$RUNDIR/$option.json" &
   local load_pid=$!
@@ -44,6 +55,8 @@ run_option() {
   sleep 8
   "$CLUSTER" partition 0 0
   wait "$load_pid"
+  kill "$obs_pid" 2>/dev/null || true
+  wait "$obs_pid" 2>/dev/null || true
   "$CLUSTER" stop
   sleep 1
 }
