@@ -12,7 +12,11 @@
 //
 // Each worker sticks to one node (round-robin across -targets) and its
 // node's home account, mixing deposits, withdrawals, counter bumps, and
-// queue appends per -mix. Throughput is reported per second — the
+// queue appends per -mix. With -skew P each counter/queue op targets a
+// hot remote fragment with probability P, and -shift-at T re-aims that
+// hot pattern mid-run — the workload shape the adaptive placement
+// controller (hanode -placement) is built to chase. Throughput is
+// reported per second — the
 // per-second committed and aborted counts are the availability timeline
 // an experiment wants — and latency quantiles come from the same
 // power-of-two histogram the engine uses.
@@ -51,6 +55,7 @@ type txRequest struct {
 	Account string `json:"account,omitempty"`
 	Amount  int64  `json:"amount,omitempty"`
 	Item    string `json:"item,omitempty"`
+	Counter *int   `json:"counter,omitempty"`
 }
 
 // txResponse mirrors hanode's /tx reply.
@@ -84,6 +89,12 @@ type report struct {
 	Timeline   []tick   `json:"timeline"`
 	WindowFrom float64  `json:"window_from_s,omitempty"`
 	WindowTo   float64  `json:"window_to_s,omitempty"`
+	// Skew and ShiftAtS record the workload's locality pattern: the
+	// probability each counter/queue op aimed at the hot remote
+	// fragment, and the phase-boundary second at which every node
+	// re-aimed at a different fragment.
+	Skew     float64 `json:"skew,omitempty"`
+	ShiftAtS float64 `json:"shift_at_s,omitempty"`
 }
 
 // loadState is the shared state every worker reports into.
@@ -95,6 +106,9 @@ type loadState struct {
 	client    *http.Client
 	mix       []opKind
 	accounts  int
+	skew      float64
+	nNodes    int
+	phase     atomic.Uint32
 }
 
 func main() {
@@ -105,6 +119,8 @@ func main() {
 		duration = flag.Duration("duration", 15*time.Second, "how long to drive load")
 		mixSpec  = flag.String("mix", "deposit=4,withdraw=4,bump=1,enqueue=1", "operation mix weights")
 		accounts = flag.Int("accounts", 0, "accounts per cluster (default 2 per node)")
+		skew     = flag.Float64("skew", 0, "probability each counter/queue op targets the hot remote fragment instead of the node's own")
+		shiftAt  = flag.Duration("shift-at", 0, "locality shift: after this long every node re-aims its skewed traffic at a different fragment (0 = never)")
 		outPath  = flag.String("out", "", "write a JSON report to this file")
 		benchOut = flag.String("bench-out", "", "also write the run as a fragdb-bench trajectory artifact (BENCH_prN.json)")
 		benchPR  = flag.Int("bench-pr", 0, "PR number stamped into the -bench-out artifact")
@@ -133,6 +149,8 @@ func main() {
 		},
 		mix:      mix,
 		accounts: *accounts,
+		skew:     *skew,
+		nNodes:   len(nodes),
 	}
 
 	stop := make(chan struct{})
@@ -152,6 +170,24 @@ func main() {
 				closedWorker(st, nodes[c%len(nodes)], c%len(nodes), int64(c), stop)
 			}(c)
 		}
+	}
+
+	// Locality shift: flip the skew phase mid-run so the access
+	// pattern the cluster adapted to becomes stale.
+	if *skew > 0 && *shiftAt > 0 && *shiftAt < *duration {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			select {
+			case <-stop:
+			case <-time.After(*shiftAt):
+				st.phase.Store(1)
+				if !*quiet {
+					fmt.Fprintf(os.Stderr, "t=%3.0fs locality shift: skewed traffic re-aimed\n",
+						shiftAt.Seconds())
+				}
+			}
+		}()
 	}
 
 	// Per-second timeline sampler.
@@ -205,6 +241,10 @@ func main() {
 		P99MS:     ms(p99),
 		MeanMS:    ms(st.lat.Mean()),
 		Timeline:  timeline,
+		Skew:      *skew,
+	}
+	if *skew > 0 && *shiftAt > 0 && *shiftAt < *duration {
+		rep.ShiftAtS = shiftAt.Seconds()
 	}
 	fmt.Printf("haload: %.1fs, %d committed (%.1f/s), %d aborted, %d failed; latency p50=%.2fms p95=%.2fms p99=%.2fms\n",
 		rep.DurationS, rep.Committed, rep.CommitsPS, rep.Aborted, rep.Failed, rep.P50MS, rep.P95MS, rep.P99MS)
@@ -344,9 +384,29 @@ func (st *loadState) pickOp(nodeID int, rng *rand.Rand, seq *int) (txRequest, in
 	case opWithdraw:
 		return txRequest{Kind: "withdraw", Account: acct, Amount: int64(1 + rng.Intn(20))}, *seq
 	case opBump:
-		return txRequest{Kind: "bump", Amount: 1}, *seq
+		op := txRequest{Kind: "bump", Amount: 1}
+		st.aimCounter(&op, nodeID, rng)
+		return op, *seq
 	default:
-		return txRequest{Kind: "enqueue"}, *seq
+		op := txRequest{Kind: "enqueue"}
+		st.aimCounter(&op, nodeID, rng)
+		return op, *seq
+	}
+}
+
+// aimCounter redirects a counter/queue op to the hot fragment with
+// probability -skew. Each node's hot target is its successor's
+// fragment (offset by the shift phase), so under skew every fragment's
+// traffic is dominated by one remote origin — the locality pattern an
+// adaptive placement controller should chase — and the -shift-at phase
+// flip re-aims every node at a different fragment mid-run.
+func (st *loadState) aimCounter(op *txRequest, nodeID int, rng *rand.Rand) {
+	if st.skew <= 0 || st.nNodes <= 1 {
+		return
+	}
+	if rng.Float64() < st.skew {
+		hot := (nodeID + 1 + int(st.phase.Load())) % st.nNodes
+		op.Counter = &hot
 	}
 }
 

@@ -20,6 +20,9 @@
 //	GET  /state         local view: balances, counter total, queue length
 //	POST /admin/drop    ?peer=N&drop=1|0 — install or clear a partition
 //	                    drop rule on the transport (fault injection)
+//	GET  /admin/placement  adaptive placement controller snapshot: the
+//	                    decayed access-rate matrix, in-flight moves, and
+//	                    migration history (404 unless -placement)
 //	GET  /debug/pprof/  Go pprof profiles (heap, goroutine, profile, ...)
 package main
 
@@ -56,6 +59,9 @@ func main() {
 		opLatency  = flag.Duration("oplatency", 0, "virtual cost per transaction operation (default 100µs)")
 		txnTimeout = flag.Duration("txntimeout", 0, "transaction timeout (default 2s)")
 		traceCap   = flag.Int("trace", 0, "flight-recorder ring size in events (default 4096; negative disables)")
+		plEnable   = flag.Bool("placement", false, "run the adaptive placement controller (commutative fragments only)")
+		plInterval = flag.Duration("placement-interval", 2*time.Second, "placement decision period")
+		plPeers    = flag.String("metrics-peers", "", "comma-separated host:port of every node's HTTP endpoint, in node-id order; when set the controller scrapes each /metrics page for the cluster-wide access matrix")
 	)
 	flag.Parse()
 
@@ -80,6 +86,19 @@ func main() {
 	}
 	defer node.Close()
 
+	var pl *deploy.Placement
+	if *plEnable {
+		var metricsAddrs []string
+		if *plPeers != "" {
+			metricsAddrs = strings.Split(*plPeers, ",")
+		}
+		pl = node.StartPlacement(deploy.PlacementConfig{
+			Interval:     *plInterval,
+			MetricsAddrs: metricsAddrs,
+		})
+		defer pl.Stop()
+	}
+
 	mux := http.NewServeMux()
 	debug := rtnet.NewDebugHandler(node.DebugVars())
 	mux.Handle("/metrics", debug)
@@ -88,6 +107,7 @@ func main() {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) { serveHealth(w, node, *option) })
 	mux.HandleFunc("/state", func(w http.ResponseWriter, r *http.Request) { serveState(w, node) })
 	mux.HandleFunc("/admin/drop", func(w http.ResponseWriter, r *http.Request) { serveDrop(w, r, node) })
+	mux.HandleFunc("/admin/placement", func(w http.ResponseWriter, r *http.Request) { servePlacement(w, pl) })
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -197,6 +217,22 @@ func serveState(w http.ResponseWriter, node *deploy.Node) {
 		return
 	}
 	writeJSON(w, out)
+}
+
+// servePlacement snapshots the adaptive placement controller: its
+// tuning, the decayed access-rate matrix, in-flight and historical
+// migrations.
+func servePlacement(w http.ResponseWriter, pl *deploy.Placement) {
+	if pl == nil {
+		http.Error(w, "placement controller not enabled (start with -placement)", http.StatusNotFound)
+		return
+	}
+	st, err := pl.Status()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, st)
 }
 
 // serveDrop toggles a partition drop rule against one peer.

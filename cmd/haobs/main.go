@@ -67,6 +67,10 @@ func watch(targets []string, interval, duration time.Duration, once bool, out st
 
 	var prev *obs.Snapshot
 	var prevAt time.Time
+	// prevPages keeps each target's raw metrics page so the hotspot
+	// table can show per-second rates (traffic NOW) instead of
+	// since-boot totals from the second poll on.
+	prevPages := map[string]obs.Metrics{}
 	// history accumulates trace tails across polls so a timeline whose
 	// head was scraped two polls ago still correlates with its tail
 	// now; MergeTimelines dedupes the overlap. Bounded so a long watch
@@ -89,7 +93,19 @@ func watch(targets []string, interval, duration time.Duration, once bool, out st
 			snap.Timelines = append(snap.Timelines, obs.Summarize(tl))
 		}
 		if prev != nil {
-			snap.FillRates(prev, now.Sub(prevAt).Seconds())
+			dt := now.Sub(prevAt).Seconds()
+			snap.FillRates(prev, dt)
+			// First poll (and -once) keeps the cumulative hotspot table;
+			// later polls switch to rates so migrations show up as the
+			// traffic moving, not as frozen historical totals.
+			if rated := obs.RatedHotspots(prevPages, states, dt); rated != nil {
+				snap.Hotspots = rated
+			}
+		}
+		for _, st := range states {
+			if st.Healthy {
+				prevPages[st.Target] = st.Metrics
+			}
 		}
 		fmt.Printf("=== %s ===\n%s\n", now.Format(time.TimeOnly), snap.Render(top, timelines))
 		if out != "" {

@@ -1,0 +1,56 @@
+package agentmove
+
+import (
+	"errors"
+	"time"
+
+	"fragdb/internal/core"
+	"fragdb/internal/simtime"
+)
+
+// RetrySpec bounds the retry loop around a move protocol.
+type RetrySpec struct {
+	// Attempts is the total number of tries (default 3).
+	Attempts int
+	// Backoff is the delay before the second attempt; it doubles per
+	// further attempt (default 200ms).
+	Backoff simtime.Duration
+}
+
+func (s RetrySpec) withDefaults() RetrySpec {
+	if s.Attempts <= 0 {
+		s.Attempts = 3
+	}
+	if s.Backoff <= 0 {
+		s.Backoff = 200 * time.Millisecond
+	}
+	return s
+}
+
+// Retry runs a prepared move protocol, re-running it with bounded
+// exponential backoff when it fails on ErrMoveTimeout — the transient
+// class: the destination was unreachable or the stream did not catch
+// up within the window, conditions a healed partition or a recovered
+// peer cures. Permanent errors (unknown agent, same node, missing
+// majority commit) report immediately. The move argument is invoked
+// once per attempt with the attempt's completion callback:
+//
+//	agentmove.Retry(cl, agentmove.RetrySpec{}, func(done func(agentmove.Result)) {
+//	    agentmove.MoveWithSeq(cl, agent, to, window, done)
+//	}, finalDone)
+func Retry(cl *core.Cluster, spec RetrySpec, move func(done func(Result)), done func(Result)) {
+	spec = spec.withDefaults()
+	var attempt func(n int, backoff simtime.Duration)
+	attempt = func(n int, backoff simtime.Duration) {
+		move(func(r Result) {
+			if r.Completed || !errors.Is(r.Err, ErrMoveTimeout) || n >= spec.Attempts {
+				if done != nil {
+					done(r)
+				}
+				return
+			}
+			cl.Sched().After(backoff, func() { attempt(n+1, backoff*2) })
+		})
+	}
+	attempt(1, spec.Backoff)
+}

@@ -1,0 +1,110 @@
+package agentmove
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fragdb/internal/netsim"
+)
+
+// TestRetryChasesTransientOutage is the regression test for moves that
+// used to fail permanently on a transient peer outage: a MoveWithSeq
+// started while the destination is partitioned away times out and
+// leaves the agent in place; with Retry around it, the re-attempt after
+// the heal completes the move instead of stranding the agent forever.
+func TestRetryChasesTransientOutage(t *testing.T) {
+	cl := newCluster(t, false)
+	defer cl.Shutdown()
+	cl.Net().Partition([]netsim.NodeID{0, 1}, []netsim.NodeID{2})
+	submitInc(cl, 0, "x")
+	cl.RunFor(100 * time.Millisecond)
+
+	var res Result
+	gotResult := false
+	Retry(cl, RetrySpec{Attempts: 4, Backoff: 300 * time.Millisecond},
+		func(done func(Result)) {
+			MoveWithSeq(cl, "user:m", 2, 200*time.Millisecond, done)
+		},
+		func(r Result) { res = r; gotResult = true })
+
+	// First attempt (and likely a second) fails against the partition;
+	// the agent keeps serving at the old home between attempts.
+	cl.RunFor(300 * time.Millisecond)
+	if gotResult {
+		t.Fatalf("retry gave up during the outage: %+v", res)
+	}
+	between := submitInc(cl, 0, "x")
+	cl.RunFor(250 * time.Millisecond)
+	if !between.Committed {
+		t.Fatalf("old home unavailable between attempts: %+v", between)
+	}
+
+	cl.Net().Heal()
+	cl.Settle(30 * time.Second)
+	if !gotResult || !res.Completed {
+		t.Fatalf("move did not complete after the outage healed: %+v", res)
+	}
+	if h, _ := cl.Tokens().Home("user:m"); h != 2 {
+		t.Errorf("agent home = %v, want 2", h)
+	}
+	after := submitInc(cl, 2, "x")
+	cl.Settle(20 * time.Second)
+	if !after.Committed {
+		t.Fatalf("post-move txn = %+v", after)
+	}
+	if err := cl.CheckMutualConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRetryStopsOnPermanentError: a permanent precondition failure
+// must report immediately, not burn attempts.
+func TestRetryStopsOnPermanentError(t *testing.T) {
+	cl := newCluster(t, false)
+	defer cl.Shutdown()
+	calls := 0
+	var res Result
+	Retry(cl, RetrySpec{Attempts: 5, Backoff: 10 * time.Millisecond},
+		func(done func(Result)) {
+			calls++
+			MoveWithSeq(cl, "user:m", 0, time.Second, done) // already home
+		},
+		func(r Result) { res = r })
+	cl.RunFor(time.Second)
+	if calls != 1 {
+		t.Fatalf("permanent error retried %d times", calls)
+	}
+	if !errors.Is(res.Err, ErrSameNode) {
+		t.Fatalf("res = %+v, want ErrSameNode", res)
+	}
+}
+
+// TestRetryExhaustsAttempts: a persistent outage reports ErrMoveTimeout
+// after the configured attempts, with the agent still at the old home.
+func TestRetryExhaustsAttempts(t *testing.T) {
+	cl := newCluster(t, false)
+	defer cl.Shutdown()
+	cl.Net().Partition([]netsim.NodeID{0, 1}, []netsim.NodeID{2})
+	submitInc(cl, 0, "x")
+	cl.RunFor(100 * time.Millisecond)
+	calls := 0
+	var res Result
+	gotResult := false
+	Retry(cl, RetrySpec{Attempts: 3, Backoff: 50 * time.Millisecond},
+		func(done func(Result)) {
+			calls++
+			MoveWithSeq(cl, "user:m", 2, 100*time.Millisecond, done)
+		},
+		func(r Result) { res = r; gotResult = true })
+	cl.RunFor(5 * time.Second)
+	if !gotResult || calls != 3 {
+		t.Fatalf("want 3 attempts then a result, got calls=%d gotResult=%v", calls, gotResult)
+	}
+	if res.Completed || !errors.Is(res.Err, ErrMoveTimeout) {
+		t.Fatalf("res = %+v, want ErrMoveTimeout", res)
+	}
+	if h, _ := cl.Tokens().Home("user:m"); h != 0 {
+		t.Errorf("agent home = %v, want 0", h)
+	}
+}

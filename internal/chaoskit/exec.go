@@ -11,6 +11,7 @@ import (
 	"fragdb/internal/history"
 	"fragdb/internal/metrics"
 	"fragdb/internal/netsim"
+	"fragdb/internal/placement"
 	"fragdb/internal/simtime"
 	"fragdb/internal/workload"
 )
@@ -85,6 +86,10 @@ type Report struct {
 	Submitted, Committed int
 	// MovesDone counts agent moves whose protocol completed.
 	MovesDone int
+	// AutoMoves counts migrations the adaptive placement controller
+	// completed on its own (placement plans only) — the placement
+	// sweep's per-seed vacuity guard.
+	AutoMoves int
 	// Checks is the full invariant ladder, in evaluation order.
 	Checks []Check
 	// Broadcast is the run's cluster-wide broadcast metrics (log
@@ -257,6 +262,7 @@ func executeCounters(p Plan, opts RunOpts) *Report {
 		TxnTimeout:     txnTimeout,
 		TraceCap:       opts.TraceCap,
 		ApplyShards:    p.ApplyShards,
+		LabeledMetrics: p.Placement,
 	}
 	cfg.BatchFlushDelay, cfg.BatchMaxCount = batchConfig(p)
 	cl := core.NewCluster(cfg)
@@ -284,6 +290,26 @@ func executeCounters(p Plan, opts RunOpts) *Report {
 
 	scheduleFaults(cl, p)
 
+	// Placement plans attach the adaptive controller with a fast,
+	// deterministic tuning: decisions every 100ms, short decay so the
+	// generated burst registers immediately, and an aggressive
+	// hysteresis so the skewed origins actually trigger migrations
+	// within the short chaos horizon. The counter fragments are
+	// non-commutative, so the loop only ever issues prepared protocols
+	// (with-seq / majority) and the full invariant ladder stands.
+	var loop *placement.SimLoop
+	if p.Placement {
+		loop = placement.AttachSim(cl, placement.Config{
+			Interval:    100 * time.Millisecond,
+			HalfLife:    300 * time.Millisecond,
+			MinRate:     1,
+			Hysteresis:  1.3,
+			Cooldown:    500 * time.Millisecond,
+			MaxInFlight: 2,
+			MoveWindow:  300 * time.Millisecond,
+		})
+	}
+
 	committedInc := make([]int, p.Frags)
 	for _, s := range p.Steps {
 		s := s
@@ -300,24 +326,29 @@ func executeCounters(p Plan, opts RunOpts) *Report {
 					return
 				}
 				rep.Submitted++
-				cl.Node(home).Submit(core.TxnSpec{
+				spec := core.TxnSpec{
 					Agent:    agentID(frag),
 					Fragment: fragID(frag),
 					Label:    fmt.Sprintf("inc:f%d", frag),
 					Timeout:  txnTimeout,
-					Program: func(tx *core.Tx) error {
-						for _, r := range s.Reads {
-							if _, err := tx.ReadInt(ctrObj(r % p.Frags)); err != nil {
-								return err
-							}
-						}
-						v, err := tx.ReadInt(ctrObj(frag))
-						if err != nil {
+				}
+				if p.Placement {
+					spec.Origin = netsim.NodeID(s.Origin % p.N)
+					spec.OriginSet = true
+				}
+				spec.Program = func(tx *core.Tx) error {
+					for _, r := range s.Reads {
+						if _, err := tx.ReadInt(ctrObj(r % p.Frags)); err != nil {
 							return err
 						}
-						return tx.Write(ctrObj(frag), v+1)
-					},
-				}, func(r core.TxnResult) {
+					}
+					v, err := tx.ReadInt(ctrObj(frag))
+					if err != nil {
+						return err
+					}
+					return tx.Write(ctrObj(frag), v+1)
+				}
+				cl.Node(home).Submit(spec, func(r core.TxnResult) {
 					if r.Committed {
 						rep.Committed++
 						committedInc[frag]++
@@ -378,6 +409,10 @@ func executeCounters(p Plan, opts RunOpts) *Report {
 	cl.RunFor(p.Horizon)
 	cl.RestartAll()
 	rep.Settled = cl.Settle(settleBudget)
+	if loop != nil {
+		loop.Stop()
+		rep.AutoMoves = loop.Completed
+	}
 
 	if opts.Sabotage != nil {
 		opts.Sabotage(cl, p)

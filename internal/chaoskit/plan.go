@@ -61,6 +61,10 @@ type Step struct {
 	Amount int64
 	// Reads lists foreign fragment indices read before the write.
 	Reads []int
+	// Origin is the node an update is accounted to in the labeled
+	// registry (placement plans only: the adaptive controller steers by
+	// these labels; execution still happens at the agent's home).
+	Origin int
 }
 
 // FaultKind is the kind of one fault episode.
@@ -176,6 +180,10 @@ type Plan struct {
 	// parallel quasi-transaction installation); the invariant ladder
 	// must hold unchanged with it on.
 	ApplyShards int
+	// Placement attaches the adaptive placement controller (labeled
+	// registry on, Step.Origin honored, automatic agent migrations);
+	// the invariant ladder must hold unchanged with it on.
+	Placement bool
 	// LossProb is the per-message random loss probability.
 	LossProb float64
 	// Horizon is the active phase's virtual duration; the executor then
@@ -225,6 +233,10 @@ type Profile struct {
 	// ApplyShards runs every plan with the sharded apply path at this
 	// shard count (0 or 1 keeps the serial path).
 	ApplyShards int
+	// Placement runs every plan with the adaptive placement controller
+	// attached and draws skewed update origins so it has something to
+	// chase.
+	Placement bool
 	// Topology bounds.
 	MinN, MaxN, MinFrags, MaxFrags int
 	// Workload bounds.
@@ -331,9 +343,31 @@ func ParallelProfile() Profile {
 	}
 }
 
+// PlacementProfile returns the adaptive-placement profile: the
+// controller attached with an aggressive deterministic tuning, update
+// origins skewed away from the initial homes (so the access matrix
+// always shows a better home), partitions, crashes, and message loss.
+// A deterministic sustained burst (see Generate) guarantees every seed
+// produces at least one automatic migration — the sweep's per-seed
+// vacuity guard. The controller only issues prepared protocols for the
+// non-commutative counter fragments (with-seq, or majority under
+// majority commit), so the full invariant ladder — including counter
+// exactness — is audited unchanged.
+func PlacementProfile() Profile {
+	return Profile{
+		Name: "placement", Option: core.UnrestrictedReads,
+		Placement:      true,
+		MajorityChance: 0.3,
+		MinN:           3, MaxN: 4, MinFrags: 3, MaxFrags: 4,
+		MinSteps: 30, MaxSteps: 70,
+		MaxFaults:  2,
+		LossChance: 0.3, MaxLoss: 0.1,
+	}
+}
+
 // ProfileByName resolves a profile by name ("readlocks", "acyclic",
 // "unrestricted", "moving", "bank", "compaction", "batching",
-// "parallel").
+// "parallel", "placement").
 func ProfileByName(name string) (Profile, bool) {
 	for _, p := range Profiles() {
 		if p.Name == name {
@@ -351,6 +385,9 @@ func ProfileByName(name string) (Profile, bool) {
 	}
 	if pp := ParallelProfile(); pp.Name == name {
 		return pp, true
+	}
+	if pl := PlacementProfile(); pl.Name == name {
+		return pl, true
 	}
 	return Profile{}, false
 }
@@ -377,6 +414,7 @@ func Generate(seed int64, pr Profile) Plan {
 	p.Compaction = pr.Compaction
 	p.Batching = pr.Batching
 	p.ApplyShards = pr.ApplyShards
+	p.Placement = pr.Placement
 	if pr.Bank {
 		p.Option = core.UnrestrictedReads
 	}
@@ -447,6 +485,18 @@ func Generate(seed int64, pr Profile) Plan {
 				st.Reads = append(st.Reads, f)
 			}
 		}
+		if pr.Placement {
+			// Skew the declared origins away from the fragment's initial
+			// home (i%N): the preferred origin (i+1)%N dominates, so the
+			// access matrix always points the controller somewhere better.
+			// Drawn only for placement profiles — other profiles' streams
+			// are untouched and their plans stay byte-identical.
+			if wl.Bool(0.8) {
+				st.Origin = (st.Frag + 1) % p.N
+			} else {
+				st.Origin = wl.Intn(p.N)
+			}
+		}
 		p.Steps = append(p.Steps, st)
 	}
 
@@ -472,6 +522,24 @@ func Generate(seed int64, pr Profile) Plan {
 					Reads: []int{j},
 				})
 				break
+			}
+		}
+	}
+
+	// Placement plans get a deterministic sustained burst, drawn from no
+	// RNG stream: every fragment is updated from its preferred foreign
+	// origin (i+1)%N every 60ms from 40ms until 300ms before the
+	// horizon. The burst keeps each fragment's decayed foreign rate
+	// above the controller's decision threshold for essentially the
+	// whole run, so at least one automatic migration completes on every
+	// seed — even when faults cover part of the run — anchoring the
+	// sweep's per-seed vacuity guard.
+	if pr.Placement && !pr.Bank {
+		for i := 0; i < p.Frags; i++ {
+			for at := 40 * time.Millisecond; at < p.Horizon-300*time.Millisecond; at += 60 * time.Millisecond {
+				p.Steps = append(p.Steps, Step{
+					At: at, Frag: i, Kind: StepUpdate, Origin: (i + 1) % p.N,
+				})
 			}
 		}
 	}
@@ -633,6 +701,9 @@ func (p Plan) GoLiteral() string {
 	if p.ApplyShards > 0 {
 		fmt.Fprintf(&b, "\tApplyShards: %d,\n", p.ApplyShards)
 	}
+	if p.Placement {
+		fmt.Fprintf(&b, "\tPlacement: true,\n")
+	}
 	if p.LossProb > 0 {
 		fmt.Fprintf(&b, "\tLossProb: %g,\n", p.LossProb)
 	}
@@ -657,6 +728,9 @@ func (p Plan) GoLiteral() string {
 			}
 			if len(s.Reads) > 0 {
 				fmt.Fprintf(&b, ", Reads: %s", fmtInts(s.Reads))
+			}
+			if s.Origin != 0 {
+				fmt.Fprintf(&b, ", Origin: %d", s.Origin)
 			}
 			fmt.Fprintf(&b, "},\n")
 		}

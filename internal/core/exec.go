@@ -25,11 +25,23 @@ func (n *Node) Submit(spec TxnSpec, done func(TxnResult)) {
 	n.cl.sched.After(0, func() { n.startTxn(spec, done) })
 }
 
+// origin resolves the accounting origin of a submission: the explicit
+// client origin when the spec carries one, else the executing node.
+// The labeled registry's per-(fragment, origin) matrix is what the
+// placement controller reads, so forwarded operations must be charged
+// to the node they entered at, not the home that executed them.
+func (n *Node) origin(spec TxnSpec) netsim.NodeID {
+	if spec.OriginSet {
+		return spec.Origin
+	}
+	return n.id
+}
+
 // reject refuses a submission before execution begins.
 func (n *Node) reject(spec TxnSpec, done func(TxnResult), err error) {
 	n.cl.stats.Rejected.Add(1)
 	n.cl.stats.Aborted.Add(1)
-	n.cl.reg.IncAbort(spec.Fragment, n.id, "rejected")
+	n.cl.reg.IncAbort(spec.Fragment, n.origin(spec), "rejected")
 	if n.tr.Enabled() {
 		n.tr.Emit(trace.Event{Kind: trace.KReject, Frag: spec.Fragment,
 			Err: err.Error(), Note: spec.Label})
@@ -164,7 +176,7 @@ func (n *Node) handleRead(t *activeTxn, req request) bool {
 	// read it remotely at the agent's home node, whatever the option.
 	if !n.cl.IsReplica(frag, n.id) {
 		if home, ok := n.cl.tokens.HomeOfFragment(frag); ok && home != n.id {
-			n.cl.reg.IncRead(frag, n.id)
+			n.cl.reg.IncRead(frag, n.origin(t.spec))
 			t.pendingRemote = &req
 			if n.tr.Enabled() {
 				n.tr.Emit(trace.Event{Kind: trace.KRemoteLockWait, Txn: t.id,
@@ -187,7 +199,7 @@ func (n *Node) handleRead(t *activeTxn, req request) bool {
 	// the owning agent's home node and read the authoritative copy.
 	if opt == ReadLocks && foreign {
 		if home, ok := n.cl.tokens.HomeOfFragment(frag); ok && home != n.id {
-			n.cl.reg.IncRead(frag, n.id)
+			n.cl.reg.IncRead(frag, n.origin(t.spec))
 			t.pendingRemote = &req
 			if n.tr.Enabled() {
 				n.tr.Emit(trace.Event{Kind: trace.KRemoteLockWait, Txn: t.id,
@@ -216,7 +228,7 @@ func (n *Node) handleRead(t *activeTxn, req request) bool {
 func (n *Node) finishRead(t *activeTxn, req request) {
 	if reg := n.cl.reg; reg != nil {
 		if f, ok := n.cl.cat.FragmentOf(req.obj); ok {
-			reg.IncRead(f, n.id)
+			reg.IncRead(f, n.origin(t.spec))
 		}
 	}
 	n.cl.sched.After(n.cl.cfg.OpLatency, func() {
@@ -284,7 +296,7 @@ func (n *Node) finishWrite(t *activeTxn, req request) {
 		if ff, ok := n.cl.cat.FragmentOf(req.obj); ok {
 			f = ff
 		}
-		reg.IncWrite(f, n.id)
+		reg.IncWrite(f, n.origin(t.spec))
 	}
 	n.cl.sched.After(n.cl.cfg.OpLatency, func() {
 		if t.finished {
@@ -441,8 +453,8 @@ func (n *Node) finalize(t *activeTxn, err error, committed bool) {
 	if committed {
 		n.cl.stats.Committed.Add(1)
 		n.cl.stats.CommitLatency.Observe(now.Sub(t.start))
-		n.cl.reg.IncCommit(t.spec.Fragment, n.id)
-		n.cl.reg.ObserveCommitLatency(t.spec.Fragment, n.id, now.Sub(t.start))
+		n.cl.reg.IncCommit(t.spec.Fragment, n.origin(t.spec))
+		n.cl.reg.ObserveCommitLatency(t.spec.Fragment, n.origin(t.spec), now.Sub(t.start))
 		if n.cl.cfg.ApplyShards > 1 && n.txnSpansShards(t) {
 			n.cl.stats.CrossShardTxns.Add(1)
 		}
@@ -452,7 +464,7 @@ func (n *Node) finalize(t *activeTxn, err error, committed bool) {
 		}
 	} else {
 		n.cl.stats.Aborted.Add(1)
-		n.cl.reg.IncAbort(t.spec.Fragment, n.id, abortCause(err))
+		n.cl.reg.IncAbort(t.spec.Fragment, n.origin(t.spec), abortCause(err))
 		if n.tr.Enabled() {
 			cause := ""
 			if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"fragdb/internal/broadcast"
@@ -110,6 +111,20 @@ type (
 		Pos      txn.FragPos
 		From     netsim.NodeID
 	}
+
+	// agentMovedMsg announces a bare token handoff of a fully
+	// commutative agent over the reliable broadcast: every receiver
+	// repoints the agent's tokens at the new home. Commutative
+	// fragments make this safe without stream preparation (Section
+	// 4.4.2A): their updates carry node-composed positions and install
+	// unordered with duplicate suppression, so no prefix agreement is
+	// needed. It is the movement protocol of SingleNode deployments,
+	// where the full agentmove protocols cannot run (they drive both
+	// endpoints' engines in-process).
+	agentMovedMsg struct {
+		Agent   fragments.AgentID
+		NewHome netsim.NodeID
+	}
 )
 
 // streamState tracks one fragment's update stream at one node.
@@ -207,6 +222,17 @@ type Node struct {
 	// journal, it survives SimulateCrashRestart, which replays it before
 	// the retained broadcast tail.
 	snapJournal []snapJournalEntry
+
+	// appHandler, when set, receives transport payloads no engine
+	// demultiplexer claims — the extension point application layers
+	// (the workload's operation forwarding) use to exchange their own
+	// wire messages. Runs on the engine context like every other
+	// transport delivery.
+	appHandler func(from netsim.NodeID, payload any)
+	// onAgentMoved, when set, observes token handoffs announced via
+	// AnnounceAgentMove (including this node's own), after the token
+	// map was updated.
+	onAgentMoved func(agent fragments.AgentID, newHome netsim.NodeID)
 }
 
 type remoteHolder struct {
@@ -368,7 +394,30 @@ func (n *Node) handleTransport(from netsim.NodeID, payload any) {
 		if fn, ok := n.posQueries[m.ID]; ok {
 			fn(m.From, m.Pos)
 		}
+	default:
+		if n.appHandler != nil {
+			n.appHandler(from, m)
+		}
 	}
+}
+
+// SetAppHandler installs the application-layer handler for transport
+// payloads the engine itself does not recognize. Payload types must be
+// gob-registered for real deployments (see wiretypes.go's contract).
+func (n *Node) SetAppHandler(fn func(from netsim.NodeID, payload any)) {
+	n.appHandler = fn
+}
+
+// SendApp sends an application payload to a peer node over the
+// cluster's transport; it is delivered to the peer's app handler.
+func (n *Node) SendApp(to netsim.NodeID, payload any) {
+	n.cl.tr.Send(n.id, to, payload)
+}
+
+// SetAgentMovedHook installs an observer for AnnounceAgentMove
+// handoffs applied at this node.
+func (n *Node) SetAgentMovedHook(fn func(agent fragments.AgentID, newHome netsim.NodeID)) {
+	n.onAgentMoved = fn
 }
 
 // handleBroadcast consumes messages delivered by the reliable broadcast
@@ -385,7 +434,50 @@ func (n *Node) handleBroadcast(origin netsim.NodeID, seq uint64, payload any) {
 		n.handleCommitCmd(m)
 	case abortCmdMsg:
 		n.handleAbortCmd(m)
+	case agentMovedMsg:
+		n.applyAgentMoved(m)
 	}
+}
+
+// applyAgentMoved repoints a commutative agent's tokens at its new
+// home. MoveAgent is idempotent, so the announcing node's own delivery
+// (which already applied the move locally) is harmless.
+func (n *Node) applyAgentMoved(m agentMovedMsg) {
+	if _, ok := n.cl.tokens.Home(m.Agent); !ok {
+		// Unknown agent: a process whose token map never learned it (not
+		// possible today — schemas are static) ignores the handoff.
+		return
+	}
+	_ = n.cl.tokens.MoveAgent(m.Agent, m.NewHome)
+	if n.onAgentMoved != nil {
+		n.onAgentMoved(m.Agent, m.NewHome)
+	}
+}
+
+// AnnounceAgentMove hands a fully commutative agent to a new home via
+// a broadcast token handoff — the SingleNode deployment's movement
+// protocol, where the §4.4 in-process protocols cannot run. It
+// requires every fragment the agent holds to be commutative: their
+// updates install unordered with node-composed positions, so the
+// handoff needs no stream preparation. In-flight submissions racing
+// the handoff are rejected with ErrNotHome at the old home and retried
+// by the forwarding layer against the token map's new answer.
+func (n *Node) AnnounceAgentMove(agent fragments.AgentID, to netsim.NodeID) error {
+	fs := n.cl.tokens.FragmentsOf(agent)
+	if len(fs) == 0 {
+		return fmt.Errorf("core: unknown agent %q", agent)
+	}
+	for _, f := range fs {
+		if !n.cl.IsCommutative(f) {
+			return fmt.Errorf("core: agent %q holds non-commutative fragment %q; use an agentmove protocol", agent, f)
+		}
+	}
+	if home, ok := n.cl.tokens.Home(agent); ok && home == to {
+		return fmt.Errorf("core: agent %q already homed at node %d", agent, to)
+	}
+	n.bcast.Send(agentMovedMsg{Agent: agent, NewHome: to})
+	n.applyAgentMoved(agentMovedMsg{Agent: agent, NewHome: to})
+	return nil
 }
 
 // ingestQuasi feeds a quasi-transaction into its fragment's stream,

@@ -26,6 +26,16 @@ type TxnSpec struct {
 	Program func(tx *Tx) error
 	// Timeout overrides the cluster's TxnTimeout for this transaction.
 	Timeout simtime.Duration
+	// Origin, when OriginSet is true, records the node where the
+	// operation behind this transaction entered the system — a client
+	// request forwarded to the agent's home executes there but
+	// originated here. It only affects the labeled registry's
+	// per-(fragment, origin) accounting, the access matrix adaptive
+	// placement consumes; execution is unchanged. OriginSet
+	// distinguishes an explicit origin of node 0 from the default (the
+	// executing node).
+	Origin    netsim.NodeID
+	OriginSet bool
 }
 
 // TxnResult reports a transaction's outcome to its completion callback.

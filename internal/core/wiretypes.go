@@ -33,6 +33,9 @@ func init() {
 	gob.Register(abortCmdMsg{})
 	gob.Register(posQueryMsg{})
 	gob.Register(posReplyMsg{})
+	// Commutative agent token handoff (adaptive placement in SingleNode
+	// deployments).
+	gob.Register(agentMovedMsg{})
 	// Multi-fragment 2PC messages.
 	gob.Register(multiPrepareMsg{})
 	gob.Register(multiVoteMsg{})

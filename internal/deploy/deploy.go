@@ -194,6 +194,11 @@ type Op struct {
 	Amount int64 `json:"amount,omitempty"`
 	// Item is the enqueue payload.
 	Item string `json:"item,omitempty"`
+	// Counter, when set, targets counter/queue fragment CTR(*Counter) /
+	// QUEUE(*Counter) instead of the node's own. The operation is
+	// routed to the fragment agent's current home, so skewed workloads
+	// generate the cross-node traffic adaptive placement chases.
+	Counter *int `json:"counter,omitempty"`
 }
 
 // ErrLoopStopped reports a submission against a closed node.
@@ -214,9 +219,17 @@ func (n *Node) Do(op Op, done func(core.TxnResult)) error {
 		if by == 0 {
 			by = 1
 		}
-		submit = func() { n.Live.Bump(n.local, by, done) }
+		ctr := n.local
+		if op.Counter != nil {
+			ctr = netsim.NodeID(*op.Counter % len(n.Cfg.Addrs))
+		}
+		submit = func() { n.Live.BumpAt(n.local, ctr, by, done) }
 	case "enqueue":
-		submit = func() { n.Live.Enqueue(n.local, op.Item, done) }
+		q := n.local
+		if op.Counter != nil {
+			q = netsim.NodeID(*op.Counter % len(n.Cfg.Addrs))
+		}
+		submit = func() { n.Live.EnqueueAt(n.local, q, op.Item, done) }
 	default:
 		return fmt.Errorf("deploy: unknown op kind %q", op.Kind)
 	}

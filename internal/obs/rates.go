@@ -1,0 +1,28 @@
+package obs
+
+// CounterRates converts two scrapes of the same target into
+// per-second rates: for every counter series present in cur, the rate
+// is (cur − prev)/dt, with a missing prev series treated as zero and
+// negative deltas (the process restarted and its counters reset)
+// clamped to zero. Series order follows cur, so the output is as
+// deterministic as the scrape itself. Histogram and gauge series pass
+// through the same arithmetic; callers that only care about counters
+// simply never ask for the others. A non-positive dt yields nil.
+func CounterRates(prev, cur Metrics, dtSeconds float64) Metrics {
+	if dtSeconds <= 0 {
+		return nil
+	}
+	base := make(map[string]float64, len(prev))
+	for _, s := range prev {
+		base[s.Name+"\x00"+seriesKey(s.Labels)] = s.Value
+	}
+	out := make(Metrics, 0, len(cur))
+	for _, s := range cur {
+		delta := s.Value - base[s.Name+"\x00"+seriesKey(s.Labels)]
+		if delta < 0 {
+			delta = 0
+		}
+		out = append(out, Sample{Name: s.Name, Labels: s.Labels, Value: delta / dtSeconds})
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func page(t *testing.T, text string) Metrics {
+	t.Helper()
+	m, err := ParsePromText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCounterRates(t *testing.T) {
+	prev := page(t, `
+fragdb_frag_writes_total{frag="F",node="0"} 100
+fragdb_frag_writes_total{frag="F",node="1"} 40
+fragdb_frag_reads_total{frag="F",node="0"} 10
+`)
+	cur := page(t, `
+fragdb_frag_writes_total{frag="F",node="0"} 150
+fragdb_frag_writes_total{frag="F",node="1"} 20
+fragdb_frag_reads_total{frag="F",node="0"} 10
+fragdb_frag_reads_total{frag="G",node="2"} 30
+`)
+	rated := CounterRates(prev, cur, 5)
+	want := map[string]float64{
+		"fragdb_frag_writes_total|0": 10, // (150-100)/5
+		"fragdb_frag_writes_total|1": 0,  // shrank (restart): clamped
+		"fragdb_frag_reads_total|0":  0,  // unchanged
+		"fragdb_frag_reads_total|2":  6,  // new series: prev treated as 0
+	}
+	if len(rated) != len(cur) {
+		t.Fatalf("rated has %d samples, want %d", len(rated), len(cur))
+	}
+	for _, s := range rated {
+		key := s.Name + "|" + s.Label("node")
+		w, ok := want[key]
+		if !ok {
+			t.Fatalf("unexpected series %q", key)
+		}
+		if s.Value != w {
+			t.Errorf("%s = %v, want %v", key, s.Value, w)
+		}
+	}
+	if CounterRates(prev, cur, 0) != nil {
+		t.Error("dt=0 must yield nil")
+	}
+}
+
+func TestRatedHotspots(t *testing.T) {
+	info := `
+fragdb_frag_info{frag="F",option="unrestricted",commutative="true"} 1
+`
+	prevPage := page(t, info+`
+fragdb_frag_writes_total{frag="F",node="0"} 1000
+fragdb_frag_writes_total{frag="F",node="1"} 0
+`)
+	curPage := page(t, info+`
+fragdb_frag_writes_total{frag="F",node="0"} 1000
+fragdb_frag_writes_total{frag="F",node="1"} 500
+`)
+	states := []NodeState{{Target: "n0:1", Healthy: true, Metrics: curPage}}
+	prev := map[string]Metrics{"n0:1": prevPage}
+
+	hs := RatedHotspots(prev, states, 10)
+	if len(hs) != 1 {
+		t.Fatalf("want 1 hotspot, got %+v", hs)
+	}
+	h := hs[0]
+	if h.Frag != "F" || !h.Commutative || h.Class != "commutative" {
+		t.Fatalf("class lost in rating: %+v", h)
+	}
+	// Node 0's huge historical total must vanish; node 1's burst shows
+	// as 50/s.
+	if h.Writes != 50 {
+		t.Fatalf("writes rate = %v, want 50", h.Writes)
+	}
+	for _, c := range h.ByNode {
+		switch c.Node {
+		case 0:
+			if c.Writes != 0 {
+				t.Errorf("node 0 rate = %v, want 0 (frozen counter)", c.Writes)
+			}
+		case 1:
+			if c.Writes != 50 {
+				t.Errorf("node 1 rate = %v, want 50", c.Writes)
+			}
+		}
+	}
+
+	if RatedHotspots(nil, states, 10) != nil {
+		t.Error("no prev pages must yield nil")
+	}
+	if RatedHotspots(map[string]Metrics{"other": prevPage}, states, 10) != nil {
+		t.Error("no matching target must yield nil")
+	}
+}

@@ -196,6 +196,36 @@ func (s *Snapshot) FillRates(prev *Snapshot, dtSeconds float64) {
 	}
 }
 
+// RatedHotspots rebuilds the hotspot table from per-second rates
+// instead of cumulative counters: each node's page is diffed against
+// that same target's previous page (CounterRates), so the table shows
+// where traffic is NOW — a migrated-away home's frozen counters
+// contribute nothing. Fragment classes still come from the current
+// cumulative pages (frag_info is a gauge; differentiating it would
+// erase it). Returns nil when there is no previous page set or dt is
+// not positive, letting callers fall back to the cumulative table.
+func RatedHotspots(prev map[string]Metrics, states []NodeState, dtSeconds float64) []Hotspot {
+	if len(prev) == 0 || dtSeconds <= 0 {
+		return nil
+	}
+	frags := fragClasses(states)
+	rated := make([]NodeState, 0, len(states))
+	any := false
+	for _, st := range states {
+		p, ok := prev[st.Target]
+		if !ok {
+			continue
+		}
+		st.Metrics = CounterRates(p, st.Metrics, dtSeconds)
+		rated = append(rated, st)
+		any = true
+	}
+	if !any {
+		return nil
+	}
+	return buildHotspots(rated, frags)
+}
+
 func rate(cur, prev, dt float64) float64 {
 	d := cur - prev
 	if d < 0 {

@@ -31,6 +31,11 @@ type Live struct {
 	// from engine context (the scheduler goroutine / loop), like the
 	// bank's own sequence map.
 	seq map[fragments.FragmentID]uint64
+
+	// Forwarding state (see forward.go): outstanding remote operations
+	// by request id. Touched only from engine context.
+	nextFwd uint64
+	pending map[uint64]*pendingFwd
 }
 
 // LiveConfig configures a Live workload.
@@ -132,7 +137,12 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Live{Bank: b, n: n, seq: make(map[fragments.FragmentID]uint64)}, nil
+	lv := &Live{Bank: b, n: n,
+		seq:     make(map[fragments.FragmentID]uint64),
+		pending: make(map[uint64]*pendingFwd),
+	}
+	lv.installForwarding()
+	return lv, nil
 }
 
 // next returns a fresh entry key for the node-local fragment f.
@@ -141,33 +151,17 @@ func (lv *Live) next(f fragments.FragmentID, node netsim.NodeID) fragments.Objec
 	return fragments.ObjectID(fmt.Sprintf("%s:%d:%d", f, int(node), lv.seq[f]))
 }
 
-// Bump submits a counter increment at the node (write-only commutative:
-// a new entry with the increment value).
+// Bump submits an increment of the node's own counter fragment
+// (write-only commutative: a new entry with the increment value),
+// routed to the agent's current home if placement moved it.
 func (lv *Live) Bump(node netsim.NodeID, by int64, done func(core.TxnResult)) {
-	f := counterFragment(node)
-	entry := lv.next(f, node)
-	lv.Cluster().Node(node).Submit(core.TxnSpec{
-		Agent:    counterAgent(node),
-		Fragment: f,
-		Label:    "bump",
-		Program: func(tx *core.Tx) error {
-			return tx.Write(entry, by)
-		},
-	}, done)
+	lv.BumpAt(node, node, by, done)
 }
 
-// Enqueue appends an item to the node's queue fragment.
+// Enqueue appends an item to the node's own queue fragment, routed to
+// the agent's current home if placement moved it.
 func (lv *Live) Enqueue(node netsim.NodeID, item string, done func(core.TxnResult)) {
-	f := queueFragment(node)
-	entry := lv.next(f, node)
-	lv.Cluster().Node(node).Submit(core.TxnSpec{
-		Agent:    queueAgent(node),
-		Fragment: f,
-		Label:    "enqueue",
-		Program: func(tx *core.Tx) error {
-			return tx.Write(entry, item)
-		},
-	}, done)
+	lv.EnqueueAt(node, node, item, done)
 }
 
 // CounterTotal sums every counter entry replicated at the node.

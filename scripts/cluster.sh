@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # cluster.sh — launch and manage a local multi-process fragdb cluster.
 #
-#   scripts/cluster.sh start [n] [option]   start n hanode processes
-#                                           (default 3, unrestricted)
+#   scripts/cluster.sh start [n] [option] [hanode flags...]
+#                                           start n hanode processes
+#                                           (default 3, unrestricted);
+#                                           trailing flags pass through
+#                                           to every hanode (and to
+#                                           restarts)
 #   scripts/cluster.sh stop                 SIGTERM every node
 #   scripts/cluster.sh kill9 <id>           kill -9 one node
 #   scripts/cluster.sh restart <id>         relaunch a killed node
@@ -35,21 +39,31 @@ peers_list() {
 
 launch_node() {
   local id="$1" n="$2" option="$3"
+  local extra=()
+  [ -s "$RUNDIR/extra" ] && mapfile -t extra <"$RUNDIR/extra"
   "$RUNDIR/hanode" \
     -id "$id" \
     -peers "$(peers_list "$n")" \
     -http "$(http_addr "$id")" \
     -option "$option" \
+    ${extra[@]+"${extra[@]}"} \
     >>"$RUNDIR/node$id.log" 2>&1 &
   echo $! >"$RUNDIR/node$id.pid"
 }
 
 cmd_start() {
   local n="${1:-3}" option="${2:-unrestricted}"
+  [ $# -gt 0 ] && shift
+  [ $# -gt 0 ] && shift
   mkdir -p "$RUNDIR"
   rm -f "$RUNDIR"/node*.pid "$RUNDIR"/node*.log
   echo "$n" >"$RUNDIR/n"
   echo "$option" >"$RUNDIR/option"
+  if [ $# -gt 0 ]; then
+    printf '%s\n' "$@" >"$RUNDIR/extra"
+  else
+    : >"$RUNDIR/extra"
+  fi
   (cd "$REPO" && go build -o "$RUNDIR/hanode" ./cmd/hanode)
   local i
   for ((i = 0; i < n; i++)); do
