@@ -59,8 +59,10 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("halint", flag.ExitOnError)
 	only := fs.String("only", "", "run only the named analyzer (comma-separated list)")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	asGitHub := fs.Bool("github", false, "emit findings as GitHub Actions ::error annotations (in addition to the plain lines)")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: halint [-only name,...] [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "usage: halint [-only name,...] [-json|-github] [packages]\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -112,24 +114,88 @@ func run(args []string) int {
 		diags = append(diags, ds...)
 	}
 	if *only == "" {
+		// Directive lint plus the stale-allow audit — the latter is only
+		// sound after the full suite ran, so -only skips it.
 		diags = append(diags, analysis.DirectiveDiagnostics(prog)...)
+		diags = append(diags, analysis.StaleAllowDiagnostics(prog)...)
 	}
 	analysis.SortDiagnostics(prog.Fset, diags)
 	diags = filterPatterns(prog, diags, fs.Args(), wd)
 
+	if *asJSON {
+		return emitJSON(prog, diags, wd)
+	}
 	for _, d := range diags {
 		pos := prog.Fset.Position(d.Pos)
-		rel, err := filepath.Rel(wd, pos.Filename)
-		if err != nil || strings.HasPrefix(rel, "..") {
-			rel = pos.Filename
-		}
+		rel := relPath(wd, pos.Filename)
 		fmt.Printf("%s:%d:%d: [%s] %s\n", rel, pos.Line, pos.Column, d.Analyzer, d.Message)
+		if *asGitHub {
+			// GitHub Actions workflow-command annotation: lands the
+			// finding on the PR diff at file/line. The message text must
+			// be %-escaped per the workflow-command spec.
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=halint %s::%s\n",
+				rel, pos.Line, pos.Column, d.Analyzer, githubEscape(d.Message))
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "halint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// relPath renders a file path relative to the working directory when it
+// is inside it.
+func relPath(wd, file string) string {
+	rel, err := filepath.Rel(wd, file)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return file
+	}
+	return rel
+}
+
+// jsonDiagnostic is the -json wire shape (stable: tooling parses it).
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// emitJSON prints findings as a JSON array (always an array, [] when
+// clean) and returns the exit code.
+func emitJSON(prog *analysis.Program, diags []analysis.Diagnostic, wd string) int {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		out = append(out, jsonDiagnostic{
+			File:     relPath(wd, pos.Filename),
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "halint:", err)
+		return 2
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "halint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// githubEscape applies the workflow-command data escaping rules.
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 // filterPatterns narrows findings to the requested package directories.

@@ -85,6 +85,7 @@ type Program struct {
 	Pkgs []*Package
 
 	byPath map[string]*Package
+	cg     *CallGraph
 }
 
 // Lookup returns the typed package with the given import path, or nil.

@@ -113,6 +113,42 @@ func d() {}
 	}
 }
 
+// TestStaleAllowDiagnostics covers the stale-allow audit: an allow
+// that suppressed a finding is live, one that suppressed nothing is
+// stale, and a bare allow is left to the directive lint rather than
+// double-reported.
+func TestStaleAllowDiagnostics(t *testing.T) {
+	prog := writeFixture(t, `package p
+
+//halint:allow testcheck -- live: suppresses the finding below
+var a = 1
+
+//halint:allow testcheck -- stale: nothing on this line ever fires
+var b = 2
+
+//halint:allow testcheck
+var c = 3
+`)
+	pkg := prog.Pkgs[0]
+	f := prog.Fset.File(pkg.Files[0].Pos())
+	diags := []analysis.Diagnostic{
+		{Pos: f.LineStart(4), Analyzer: "testcheck", Message: "covered"},
+	}
+	if kept := analysis.Suppress(prog, diags); len(kept) != 0 {
+		t.Fatalf("setup: the line-4 finding should have been suppressed, kept %+v", kept)
+	}
+	stale := analysis.StaleAllowDiagnostics(prog)
+	if len(stale) != 1 {
+		t.Fatalf("got %d stale-allow findings, want 1: %+v", len(stale), stale)
+	}
+	if got := prog.Fset.Position(stale[0].Pos).Line; got != 6 {
+		t.Errorf("stale allow reported at line %d, want 6", got)
+	}
+	if !strings.Contains(stale[0].Message, "suppresses no findings") {
+		t.Errorf("message should say the allow is dead: %s", stale[0].Message)
+	}
+}
+
 // TestSuppress pins the allow-directive scope: same line and next line
 // only.
 func TestSuppress(t *testing.T) {

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
@@ -29,6 +30,11 @@ type directive struct {
 	why  string // justification after " -- " (allow only)
 	line int
 	pos  token.Pos
+	// used is set when the directive suppresses at least one finding
+	// (or sanctions a summary/type-level site); the stale-allow audit
+	// reports allows that never fire, so suppressions rot loudly
+	// instead of silently outliving the code they excused.
+	used bool
 }
 
 // fileDirectives scans (and caches) a file's halint directives.
@@ -84,7 +90,8 @@ func (d directive) allows(analyzer string) bool {
 }
 
 // allowedAt reports whether any allow directive for the analyzer sits
-// on pos's line or the line directly above it.
+// on pos's line or the line directly above it, marking the directive
+// used for the stale-allow audit.
 func (prog *Program) allowedAt(pos token.Pos, analyzer string) bool {
 	if !pos.IsValid() {
 		return false
@@ -96,14 +103,43 @@ func (prog *Program) allowedAt(pos token.Pos, analyzer string) bool {
 			if ff == nil || ff.Name() != position.Filename {
 				continue
 			}
-			for _, d := range pkg.fileDirectives(prog.Fset, f) {
-				if d.allows(analyzer) && (d.line == position.Line || d.line == position.Line-1) {
+			ds := pkg.fileDirectives(prog.Fset, f)
+			for i := range ds {
+				if ds[i].allows(analyzer) && (ds[i].line == position.Line || ds[i].line == position.Line-1) {
+					ds[i].used = true
 					return true
 				}
 			}
 		}
 	}
 	return false
+}
+
+// StaleAllowDiagnostics reports every allow directive that suppressed
+// zero findings. Valid only after the full suite has run over the
+// program (a subset run would see unexercised allows as stale);
+// cmd/halint therefore skips it under -only and in vettool mode.
+func StaleAllowDiagnostics(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ds := pkg.fileDirectives(prog.Fset, f)
+			for i := range ds {
+				d := ds[i]
+				if d.kind != "allow" || d.used || d.why == "" {
+					continue
+				}
+				diags = append(diags, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: "halint",
+					Message: fmt.Sprintf(
+						"stale //halint:allow %s: it suppresses no findings — delete the directive (or re-check what it was meant to excuse)",
+						d.args),
+				})
+			}
+		}
+	}
+	return diags
 }
 
 // DirectiveDiagnostics lints the directives themselves: an allow

@@ -1,0 +1,140 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fragdb/internal/analysis"
+)
+
+// TestLoadDirsTestOnlyPackage: a directory holding nothing but _test.go
+// files still surfaces as a syntax-only package, so AST-level analyzers
+// cover test helpers too.
+func TestLoadDirsTestOnlyPackage(t *testing.T) {
+	dir := t.TempDir()
+	src := "package p_test\n\nfunc helper() {}\n"
+	if err := os.WriteFile(filepath.Join(dir, "p_test.go"), []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := analysis.LoadDirs(map[string]string{"p": dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1 syntax-only test package: %+v", len(prog.Pkgs), prog.Pkgs)
+	}
+	pkg := prog.Pkgs[0]
+	if pkg.Path != "p"+analysis.TestSuffix {
+		t.Errorf("path = %q, want the test-suffix marker", pkg.Path)
+	}
+	if pkg.Typed() {
+		t.Error("test-file package should be syntax-only, not typed")
+	}
+	if pkg.BasePath() != "p" {
+		t.Errorf("BasePath = %q, want p", pkg.BasePath())
+	}
+}
+
+// TestStubImporter: imports that resolve nowhere become named stub
+// packages — including the /vN major-version name rule — and the
+// package still type-checks best-effort.
+func TestStubImporter(t *testing.T) {
+	dir := t.TempDir()
+	src := `package s
+
+import (
+	dep "example.com/dep/v2"
+	"unknown/lib"
+)
+
+var X = dep.Thing()
+var Y = lib.Value
+`
+	if err := os.WriteFile(filepath.Join(dir, "s.go"), []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := analysis.LoadDirs(map[string]string{"s": dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := prog.Lookup("s")
+	if pkg == nil || !pkg.Typed() {
+		t.Fatal("package s missing or untyped despite stub imports")
+	}
+	names := map[string]bool{}
+	for _, imp := range pkg.Types.Imports() {
+		names[imp.Name()] = true
+	}
+	if !names["dep"] {
+		t.Errorf("stub for example.com/dep/v2 should be named dep (v-suffix rule), got %v", names)
+	}
+	if !names["lib"] {
+		t.Errorf("stub for unknown/lib should be named lib, got %v", names)
+	}
+}
+
+// writeModule materializes a minimal module tree for LoadModule tests.
+func writeModule(t *testing.T, gomod string) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod":        gomod,
+		"root.go":       "package mymod\n",
+		"sub/pkg/a.go":  "package pkg\n\nfunc A() {}\n",
+		"testdata/t.go": "package ignored\n",
+	}
+	for name, content := range files {
+		p := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestLoadModulePathParsing: the module line decides every package's
+// import path; testdata trees are skipped; a go.mod without a module
+// line is a hard error.
+func TestLoadModulePathParsing(t *testing.T) {
+	root := writeModule(t, "// fixture module\nmodule example.com/mymod\n\ngo 1.21\n")
+	prog, err := analysis.LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Lookup("example.com/mymod") == nil {
+		t.Error("root package not loaded under the module path")
+	}
+	if prog.Lookup("example.com/mymod/sub/pkg") == nil {
+		t.Error("nested package not loaded under the module path")
+	}
+	for _, pkg := range prog.Pkgs {
+		if pkg.Name == "ignored" {
+			t.Error("testdata tree should have been skipped")
+		}
+	}
+
+	bad := writeModule(t, "go 1.21\n")
+	if _, err := analysis.LoadModule(bad); err == nil {
+		t.Error("LoadModule should fail on a go.mod without a module line")
+	}
+}
+
+// TestFindModuleRoot walks up from a nested directory to the go.mod.
+func TestFindModuleRoot(t *testing.T) {
+	root := writeModule(t, "module example.com/mymod\n")
+	got, err := analysis.FindModuleRoot(filepath.Join(root, "sub", "pkg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TempDir may come back through a symlink (macOS /tmp); compare
+	// resolved paths.
+	want, _ := filepath.EvalSymlinks(root)
+	gotR, _ := filepath.EvalSymlinks(got)
+	if gotR != want {
+		t.Errorf("FindModuleRoot = %q, want %q", got, root)
+	}
+}

@@ -8,7 +8,11 @@
 // lock/blocking-op interleavings are exactly where the real-time
 // transport's bugs live.
 //
-// The analysis is intraprocedural and syntactic, tuned to this repo's
+// Lock tracking is syntactic and per-function; blocking detection is
+// interprocedural: a call under a held lock to any function whose
+// call-graph summary says it may block — through helpers, method
+// values resolved by go/types, or interface dispatch — is flagged with
+// the full call path ("blocks via A → B → channel send"). The
 // conventions:
 //
 //   - x.Lock()/x.RLock() acquires the lock named by the receiver
@@ -303,10 +307,38 @@ func (w *walker) scanExpr(e ast.Expr, held lockState) {
 		case *ast.CallExpr:
 			if kind, ok := w.blockingCall(n); ok {
 				w.reportHeld(n.Pos(), held, kind)
+			} else if len(held) > 0 {
+				w.transitiveCall(n, held)
 			}
 		}
 		return true
 	})
+}
+
+// transitiveCall consults the call-graph summaries: a call (static or
+// interface-dispatched) to a function that may block anywhere down its
+// call chain is as bad as blocking here. Callees analyzed as
+// caller-holds-the-lock helpers (*Locked, "Caller holds mu.") are
+// skipped — their bodies self-report under the entry lock, so the call
+// site would only duplicate the finding.
+func (w *walker) transitiveCall(call *ast.CallExpr, held lockState) {
+	pkg := w.pass.Pkg
+	if !pkg.Typed() {
+		return
+	}
+	cg := w.pass.Prog.CallGraph()
+	for _, callee := range cg.CalleesAt(pkg, call) {
+		if entryHolds(callee.Decl) {
+			continue
+		}
+		sum := cg.Summary(callee)
+		if sum == nil || !sum.MayBlock {
+			continue
+		}
+		w.reportHeldPath(call.Pos(), held,
+			"call to "+cg.FuncName(callee.Obj), cg.BlockPath(callee))
+		return // one witness per call site, even under interface dispatch
+	}
 }
 
 // scanFuncLits analyzes only the function literals of a call (used for
@@ -358,6 +390,16 @@ func (w *walker) reportHeld(pos token.Pos, held lockState, what string) {
 		w.pass.Reportf(pos,
 			"%s while holding %s (locked at line %d): release the lock before blocking, or justify with //halint:allow lockedsend -- <why>",
 			what, lock, w.pass.Fset().Position(at).Line)
+	}
+}
+
+// reportHeldPath emits one finding per held lock with the transitive
+// call path to the blocking operation.
+func (w *walker) reportHeldPath(pos token.Pos, held lockState, what, path string) {
+	for lock, at := range held {
+		w.pass.Reportf(pos,
+			"%s may block while holding %s (locked at line %d): blocks via %s; release the lock before calling, or justify with //halint:allow lockedsend -- <why>",
+			what, lock, w.pass.Fset().Position(at).Line, path)
 	}
 }
 

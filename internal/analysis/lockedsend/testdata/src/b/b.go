@@ -1,0 +1,82 @@
+// Package b is the transitive half of the lockedsend fixture: the
+// blocking operation hides one or more calls below the locked region,
+// and the call-graph summaries must carry it back to the call site —
+// including through interface dispatch.
+package b
+
+import "sync"
+
+type pipe struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// push blocks directly: channel send.
+func (p *pipe) push(v int) { p.ch <- v }
+
+// relay adds a hop: still may block.
+func (p *pipe) relay(v int) { p.push(v) }
+
+// badHelperCall reaches the send two calls down while locked.
+func (p *pipe) badHelperCall() {
+	p.mu.Lock()
+	p.relay(1) // want `call to b\.pipe\.relay may block while holding p\.mu .*blocks via b\.pipe\.relay → b\.pipe\.push → channel send`
+	p.mu.Unlock()
+	p.relay(2) // released: quiet
+}
+
+// sender abstracts the transport; one module-local implementation
+// blocks.
+type sender interface{ Send(v int) }
+
+// chanSender blocks: a real channel behind Send.
+type chanSender struct{ ch chan int }
+
+func (c *chanSender) Send(v int) { c.ch <- v }
+
+// countSender only counts: never blocks.
+type countSender struct{ n int }
+
+func (c *countSender) Send(v int) { c.n++ }
+
+// badDynamic: interface dispatch fans out to every implementation, and
+// chanSender's send makes the locked call suspect.
+func (p *pipe) badDynamic(s sender) {
+	p.mu.Lock()
+	s.Send(1) // want `may block while holding p\.mu .*channel send`
+	p.mu.Unlock()
+	s.Send(2) // released: quiet
+}
+
+// size never blocks: the locked call is quiet.
+func (p *pipe) size() int { return len(p.ch) }
+
+func (p *pipe) goodHelperCall() int {
+	p.mu.Lock()
+	n := p.size()
+	p.mu.Unlock()
+	return n
+}
+
+// flushLocked self-reports under the *Locked entry convention …
+func (p *pipe) flushLocked() {
+	p.ch <- 1 // want `channel send while holding p\.mu`
+}
+
+// … so the call site must not double-report it.
+func (p *pipe) callsLocked() {
+	p.mu.Lock()
+	p.flushLocked()
+	p.mu.Unlock()
+}
+
+// outbox mirrors the broadcast fix: compose under the lock, post after
+// release. Entirely quiet.
+func (p *pipe) outbox(vs []int) {
+	p.mu.Lock()
+	queued := append([]int(nil), vs...)
+	p.mu.Unlock()
+	for _, v := range queued {
+		p.push(v)
+	}
+}

@@ -1,0 +1,7 @@
+// Package trace is a fixture stand-in for the flight recorder: Emit is
+// the order-sensitive sink the analyzer must find, directly or through
+// helpers.
+package trace
+
+// Emit records one event.
+func Emit(v any) { _ = v }

@@ -80,8 +80,48 @@ func run(pass *analysis.Pass) error {
 	}
 	for _, f := range pass.Pkg.Files {
 		checkFile(pass, f)
+		checkTransitive(pass, f)
 	}
 	return nil
+}
+
+// checkTransitive flags calls that cross the determinism boundary: a
+// static call from this (deterministic) package to a function defined
+// in a wall-clock package (rtnet, deploy, cmd, examples) whose
+// call-graph summary reaches a clock or global-rand operation. Direct
+// uses inside deterministic packages self-report through checkFile, so
+// only the boundary crossing is flagged — with the call path to the
+// offending operation.
+//
+// Interface dispatch is deliberately excluded: a call through
+// netsim.Transport may land in rtnet under the deployment harness, but
+// which implementation is wired is the composition root's decision —
+// the deterministic caller is clean, and the root (deploy/cmd) is
+// already outside the contract. Only naming a wall-clock function
+// directly crosses the boundary in the source.
+func checkTransitive(pass *analysis.Pass, f *ast.File) {
+	if !pass.Pkg.Typed() {
+		return
+	}
+	cg := pass.Prog.CallGraph()
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := cg.StaticCalleeAt(pass.Pkg, call)
+		if callee == nil || Deterministic(callee.Pkg.Path) {
+			return true // dynamic, unresolved, or flagged at its own direct use
+		}
+		sum := cg.Summary(callee)
+		if sum == nil || !sum.WallTime {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"call into wall-clock package from deterministic package %s: %s (route time through simtime, or justify with //halint:allow nowalltime -- <why>)",
+			pass.Pkg.BasePath(), cg.WallPath(callee))
+		return true
+	})
 }
 
 func checkFile(pass *analysis.Pass, f *ast.File) {

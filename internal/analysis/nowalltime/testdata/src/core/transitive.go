@@ -1,0 +1,32 @@
+// The boundary cases: statically naming a wall-clock function from a
+// deterministic package is flagged with the call path to the clock
+// operation; interface dispatch that might land in rtnet is the
+// composition root's business and stays quiet.
+package core
+
+import "rtnet"
+
+// crosses names rtnet.Dial directly: the source itself commits to the
+// wall-clock implementation.
+func crosses() {
+	rtnet.Dial() // want `call into wall-clock package from deterministic package core: rtnet\.Dial → time\.Sleep`
+}
+
+// ticker is the abstraction seam; rtnet.Clock satisfies it, but which
+// implementation is wired is decided at the composition root, so the
+// dispatch site stays quiet.
+type ticker interface{ Tick() }
+
+func dynamic(t ticker) {
+	t.Tick()
+}
+
+// wire keeps rtnet.Clock's Tick in the call graph as an interface
+// implementation without naming its clock helpers statically from a
+// flagged position.
+func wire() ticker { return rtnet.Clock{} }
+
+// sanctioned shows the escape hatch on a boundary crossing.
+func sanctioned() {
+	rtnet.Dial() //halint:allow nowalltime -- fixture: deployment-only helper, never runs under the simulator
+}

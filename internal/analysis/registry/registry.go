@@ -7,6 +7,7 @@ package registry
 import (
 	"fragdb/internal/analysis"
 	"fragdb/internal/analysis/lockedsend"
+	"fragdb/internal/analysis/mapdeterminism"
 	"fragdb/internal/analysis/metricexported"
 	"fragdb/internal/analysis/nowalltime"
 	"fragdb/internal/analysis/shardorder"
@@ -19,6 +20,7 @@ func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		nowalltime.Analyzer,
 		lockedsend.Analyzer,
+		mapdeterminism.Analyzer,
 		shardorder.Analyzer,
 		wireencodable.Analyzer,
 		traceexhaustive.Analyzer,
@@ -36,8 +38,10 @@ func ByName(name string) *analysis.Analyzer {
 	return nil
 }
 
-// RunAll executes every analyzer plus the directive lint over the
-// program, returning position-sorted findings.
+// RunAll executes every analyzer plus the directive lint and the
+// stale-allow audit over the program, returning position-sorted
+// findings. The stale-allow audit is only sound here, after the whole
+// suite has had the chance to use every directive.
 func RunAll(prog *analysis.Program) ([]analysis.Diagnostic, error) {
 	var diags []analysis.Diagnostic
 	for _, a := range All() {
@@ -48,6 +52,7 @@ func RunAll(prog *analysis.Program) ([]analysis.Diagnostic, error) {
 		diags = append(diags, ds...)
 	}
 	diags = append(diags, analysis.DirectiveDiagnostics(prog)...)
+	diags = append(diags, analysis.StaleAllowDiagnostics(prog)...)
 	analysis.SortDiagnostics(prog.Fset, diags)
 	return diags, nil
 }

@@ -366,8 +366,22 @@ type Broadcaster struct {
 	deliverQ   []delivery
 	delivering bool
 
+	// outbox queues outbound transport messages composed under mu; they
+	// ship (post) only after the lock is released. rtnet's TCP transport
+	// applies backpressure — a Send may block — and a blocked send under
+	// mu would freeze every other broadcaster operation, including the
+	// HandleMessage path a synchronous transport delivers on (halint's
+	// lockedsend analyzer enforces this discipline).
+	outbox []outMsg
+
 	stopGossip func()
 	stopped    bool
+}
+
+// outMsg is one queued outbound transport message.
+type outMsg struct {
+	to  netsim.NodeID
+	msg any
 }
 
 // New creates a broadcaster for node on the given transport. The
@@ -427,7 +441,9 @@ func (b *Broadcaster) gossipTick() {
 	}
 	b.gossipLocked()
 	b.scheduleGossip()
+	out := b.takeOutbox()
 	b.mu.Unlock()
+	b.post(out)
 }
 
 // stream returns (creating if needed) origin's retained log.
@@ -455,15 +471,39 @@ func (b *Broadcaster) Send(payload any) uint64 {
 		b.pushAll(Data{Origin: b.node, Seq: seq, Payload: payload}, 1)
 	}
 	b.drainDeliveries()
+	out := b.takeOutbox()
 	b.mu.Unlock()
+	b.post(out)
 	return seq
 }
 
-// sendData hands one Data or DataBatch message carrying n payloads to a
+// queueSend records an outbound message for posting once the lock is
+// released. Caller holds mu.
+func (b *Broadcaster) queueSend(to netsim.NodeID, msg any) {
+	b.outbox = append(b.outbox, outMsg{to: to, msg: msg})
+}
+
+// takeOutbox detaches the queued outbound messages for posting. Caller
+// holds mu and must hand the result to post after unlocking.
+func (b *Broadcaster) takeOutbox() []outMsg {
+	out := b.outbox
+	b.outbox = nil
+	return out
+}
+
+// post ships detached outbound messages in queue order. The caller must
+// NOT hold mu: the transport may block.
+func (b *Broadcaster) post(out []outMsg) {
+	for _, m := range out {
+		b.tr.Send(b.node, m.to, m.msg)
+	}
+}
+
+// sendData queues one Data or DataBatch message carrying n payloads to a
 // peer, maintaining the amortization counters (messages sent vs.
 // payloads carried) and the batch-size histogram. Caller holds mu.
 func (b *Broadcaster) sendData(to netsim.NodeID, msg any, n int) {
-	b.tr.Send(b.node, to, msg)
+	b.queueSend(to, msg)
 	if m := b.cfg.Metrics; m != nil {
 		m.DataSends.Add(1)
 		m.PayloadsSent.Add(uint64(n))
@@ -513,7 +553,9 @@ func (b *Broadcaster) flushTick() {
 	if !b.stopped {
 		b.flushLocked()
 	}
+	out := b.takeOutbox()
 	b.mu.Unlock()
+	b.post(out)
 }
 
 // flushLocked ships the buffered own-stream payloads as one DataBatch
@@ -569,7 +611,9 @@ func (b *Broadcaster) drainDeliveries() {
 	b.delivering = true
 	burst := b.cfg.Burst
 	if burst != nil && len(b.deliverQ) > 1 {
+		out := b.takeOutbox()
 		b.mu.Unlock()
+		b.post(out)
 		burst.BeginBurst()
 		b.mu.Lock()
 	} else {
@@ -578,14 +622,19 @@ func (b *Broadcaster) drainDeliveries() {
 	for len(b.deliverQ) > 0 {
 		d := b.deliverQ[0]
 		b.deliverQ = b.deliverQ[1:]
+		// Queued sends ship before the callback runs, preserving the
+		// pushes-precede-local-delivery wire order of the inline-send era.
+		out := b.takeOutbox()
 		if d.install != nil {
 			snap := b.cfg.Snapshot
 			b.mu.Unlock()
+			b.post(out)
 			snap.InstallState(d.install.state, d.install.have, d.install.prev)
 			b.mu.Lock()
 			continue
 		}
 		b.mu.Unlock()
+		b.post(out)
 		b.cfg.Registry.IncDelivered(d.origin)
 		b.handler(d.origin, d.seq, d.payload)
 		b.mu.Lock()
@@ -597,7 +646,9 @@ func (b *Broadcaster) drainDeliveries() {
 	if burst != nil {
 		// Cleared delivering first: a Send re-entered from EndBurst
 		// must be able to drain its own delivery.
+		out := b.takeOutbox()
 		b.mu.Unlock()
+		b.post(out)
 		burst.EndBurst()
 		b.mu.Lock()
 	}
@@ -671,7 +722,9 @@ func (b *Broadcaster) PendingSize() int {
 func (b *Broadcaster) Gossip() {
 	b.mu.Lock()
 	b.gossipLocked()
+	out := b.takeOutbox()
 	b.mu.Unlock()
+	b.post(out)
 }
 
 func (b *Broadcaster) gossipLocked() {
@@ -712,7 +765,7 @@ func (b *Broadcaster) gossipLocked() {
 			}
 			d = Digest{Have: delta, Delta: true}
 		}
-		b.tr.Send(b.node, id, d)
+		b.queueSend(id, d)
 		if sent == nil {
 			sent = make(map[netsim.NodeID]uint64, len(b.logs))
 			b.digestSent[id] = sent
@@ -743,7 +796,15 @@ func (b *Broadcaster) compactLocked() {
 			live = append(live, id)
 		}
 	}
-	for o, s := range b.logs {
+	// Sorted origins: compaction order decides the trace-event order, and
+	// the flight recorder must be byte-identical under a fixed seed.
+	origins := make([]netsim.NodeID, 0, len(b.logs))
+	for o := range b.logs {
+		origins = append(origins, o)
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	for _, o := range origins {
+		s := b.logs[o]
 		if len(s.entries) == 0 {
 			continue
 		}
@@ -797,7 +858,9 @@ func (b *Broadcaster) HandleMessage(from netsim.NodeID, payload any) bool {
 		b.mu.Lock()
 		b.receive(m)
 		b.drainDeliveries()
+		out := b.takeOutbox()
 		b.mu.Unlock()
+		b.post(out)
 		return true
 	case DataBatch:
 		b.mu.Lock()
@@ -805,19 +868,25 @@ func (b *Broadcaster) HandleMessage(from netsim.NodeID, payload any) bool {
 			b.receive(Data{Origin: m.Origin, Seq: m.Start + uint64(i), Payload: p})
 		}
 		b.drainDeliveries()
+		out := b.takeOutbox()
 		b.mu.Unlock()
+		b.post(out)
 		return true
 	case Digest:
 		b.mu.Lock()
 		b.repair(from, m)
 		b.drainDeliveries()
+		out := b.takeOutbox()
 		b.mu.Unlock()
+		b.post(out)
 		return true
 	case SnapshotOffer:
 		b.mu.Lock()
 		b.installOffer(m)
 		b.drainDeliveries()
+		out := b.takeOutbox()
 		b.mu.Unlock()
+		b.post(out)
 		return true
 	}
 	return false
@@ -966,7 +1035,7 @@ func (b *Broadcaster) offerSnapshot(to netsim.NodeID) {
 		// log prefix.
 		have[o] = b.delivered[o]
 	}
-	b.tr.Send(b.node, to, SnapshotOffer{Have: have, State: state})
+	b.queueSend(to, SnapshotOffer{Have: have, State: state})
 	if t := b.cfg.Trace; t.Enabled() {
 		t.Emit(trace.Event{Kind: trace.KSnapOffer, Peer: to, HasPeer: true})
 	}

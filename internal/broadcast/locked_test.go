@@ -1,0 +1,78 @@
+package broadcast
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"fragdb/internal/netsim"
+)
+
+// syncNet is the degenerate zero-latency transport: Send delivers to
+// the destination synchronously, on the calling goroutine. It is the
+// worst-case shape of the rtnet deployment path (where a TCP send can
+// block inside the transport): any transport call made while the
+// broadcaster's lock is held re-enters a peer whose reply re-enters the
+// original broadcaster — and deadlocks against its own mutex.
+type syncNet struct {
+	handlers map[netsim.NodeID]netsim.Handler
+	n        int
+}
+
+func (t *syncNet) N() int                            { return t.n }
+func (t *syncNet) Reachable(a, b netsim.NodeID) bool { return true }
+func (t *syncNet) SetHandler(id netsim.NodeID, h netsim.Handler) {
+	t.handlers[id] = h
+}
+
+func (t *syncNet) Send(from, to netsim.NodeID, payload any) {
+	if h := t.handlers[to]; h != nil {
+		h(from, payload)
+	}
+}
+
+// A digest answered on the spot completes a Gossip → repair → Data
+// round trip on one goroutine: under the old hold-the-lock-while-
+// sending code, the returning Data re-entered the gossiping node's
+// HandleMessage against its still-held mutex and hung forever. The
+// outbox discipline (compose under the lock, post after release) must
+// keep the whole exchange live. Found by halint's transitive
+// lockedsend analyzer on the broadcast → rtnet.TCP.Send path.
+func TestSynchronousTransportRoundTripDoesNotDeadlock(t *testing.T) {
+	tr := &syncNet{n: 2, handlers: make(map[netsim.NodeID]netsim.Handler)}
+	var mu sync.Mutex
+	var got []string
+	record := func(node string) Handler {
+		return func(origin netsim.NodeID, seq uint64, payload any) {
+			mu.Lock()
+			got = append(got, node)
+			mu.Unlock()
+		}
+	}
+	b0 := New(0, tr, nil, Config{}, record("n0"))
+	b1 := New(1, tr, nil, Config{}, record("n1"))
+	tr.SetHandler(0, func(from netsim.NodeID, p any) { b0.HandleMessage(from, p) })
+	tr.SetHandler(1, func(from netsim.NodeID, p any) { b1.HandleMessage(from, p) })
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		b0.Send("x") // optimistic push delivers to b1 synchronously
+		b1.Gossip()  // digest to b0; b0's repair answer re-enters b1
+		b0.Gossip()
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second): //halint:allow nowalltime -- deadlock watchdog: this test runs on real goroutines, no simulated clock exists
+		t.Fatal("deadlock: a transport send was made while holding the broadcaster lock")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) < 2 {
+		t.Fatalf("deliveries = %v, want the payload at both nodes", got)
+	}
+	if b1.Prefix(0) != 1 {
+		t.Errorf("b1 prefix for origin 0 = %d, want 1", b1.Prefix(0))
+	}
+}

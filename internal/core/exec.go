@@ -446,7 +446,14 @@ func (n *Node) finalize(t *activeTxn, err error, committed bool) {
 	}
 	delete(n.active, t.id)
 	grants := n.locks.Release(t.id)
+	// Release messages go out in node order: map order would let the
+	// release race unfold differently run to run under the same seed.
+	peers := make([]netsim.NodeID, 0, len(t.remoteLocked))
 	for peer := range t.remoteLocked {
+		peers = append(peers, peer)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	for _, peer := range peers {
 		n.cl.tr.Send(n.id, peer, lockReleaseMsg{Txn: t.id})
 	}
 	now := n.cl.sched.Now()

@@ -154,7 +154,11 @@ func (n *Node) startMulti(t *activeTxn) {
 		homes: make(map[fragments.FragmentID]netsim.NodeID, len(parts)),
 		votes: make(map[fragments.FragmentID]bool, len(parts)),
 	}
-	for f := range parts {
+	// Fragment order is fixed up front: it decides which missing agent
+	// aborts the transaction and the order prepares hit the wire, both
+	// of which must be stable under a fixed seed.
+	fs := sortedFragments(parts)
+	for _, f := range fs {
 		home, ok := n.cl.tokens.HomeOfFragment(f)
 		if !ok {
 			n.finalize(t, fmt.Errorf("core: fragment %q has no agent", f), false)
@@ -167,12 +171,6 @@ func (n *Node) startMulti(t *activeTxn) {
 	}
 	n.multiCoords[t.id] = mc
 	t.waitingMulti = true
-	// Deterministic prepare order.
-	fs := make([]fragments.FragmentID, 0, len(parts))
-	for f := range parts {
-		fs = append(fs, f)
-	}
-	sort.Slice(fs, func(i, j int) bool { return fs[i] < fs[j] })
 	for _, f := range fs {
 		n.cl.tr.Send(n.id, mc.homes[f], multiPrepareMsg{
 			MID: t.id, Fragment: f, Writes: parts[f], From: n.id,
@@ -276,11 +274,11 @@ func (n *Node) handleMultiVote(m multiVoteMsg) {
 func (n *Node) decideMulti(mc *multiCoord, commit bool, cause error) {
 	delete(n.multiCoords, mc.t.id)
 	mc.t.waitingMulti = false
-	for f, home := range mc.homes {
+	for _, f := range sortedFragments(mc.homes) {
 		if commit {
-			n.cl.tr.Send(n.id, home, multiCommitMsg{MID: mc.t.id, Fragment: f})
+			n.cl.tr.Send(n.id, mc.homes[f], multiCommitMsg{MID: mc.t.id, Fragment: f})
 		} else {
-			n.cl.tr.Send(n.id, home, multiAbortMsg{MID: mc.t.id, Fragment: f})
+			n.cl.tr.Send(n.id, mc.homes[f], multiAbortMsg{MID: mc.t.id, Fragment: f})
 		}
 	}
 	if commit {
@@ -304,8 +302,8 @@ func (n *Node) abortMulti(t *activeTxn) {
 		return
 	}
 	delete(n.multiCoords, t.id)
-	for f, home := range mc.homes {
-		n.cl.tr.Send(n.id, home, multiAbortMsg{MID: t.id, Fragment: f})
+	for _, f := range sortedFragments(mc.homes) {
+		n.cl.tr.Send(n.id, mc.homes[f], multiAbortMsg{MID: t.id, Fragment: f})
 	}
 }
 
@@ -347,4 +345,16 @@ func (n *Node) handleMultiAbort(m multiAbortMsg) {
 	if p, ok := n.multiParts[partKey{mid: m.MID, f: m.Fragment}]; ok {
 		n.dropPart(p)
 	}
+}
+
+// sortedFragments returns a map's fragment keys in ID order: 2PC
+// fan-out and home resolution iterate it so the messages leave in the
+// same order every run under a fixed seed.
+func sortedFragments[V any](m map[fragments.FragmentID]V) []fragments.FragmentID {
+	fs := make([]fragments.FragmentID, 0, len(m))
+	for f := range m {
+		fs = append(fs, f)
+	}
+	sort.Slice(fs, func(i, j int) bool { return fs[i] < fs[j] })
+	return fs
 }

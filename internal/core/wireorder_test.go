@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"fragdb/internal/fragments"
+	"fragdb/internal/netsim"
+	"fragdb/internal/simtime"
+)
+
+// orderNet is netsim shrunk to what a wire-order regression test needs:
+// a fixed-latency transport that records every payload in the order it
+// was handed over, then delivers through the cluster's scheduler.
+type orderNet struct {
+	n        int
+	sched    *simtime.Scheduler
+	handlers []netsim.Handler
+	sent     []any
+}
+
+func (o *orderNet) N() int                            { return o.n }
+func (o *orderNet) Reachable(a, b netsim.NodeID) bool { return true }
+func (o *orderNet) SetHandler(id netsim.NodeID, h netsim.Handler) {
+	o.handlers[id] = h
+}
+
+func (o *orderNet) Send(from, to netsim.NodeID, payload any) {
+	o.sent = append(o.sent, payload)
+	h := o.handlers[to]
+	o.sched.After(time.Millisecond, func() { h(from, payload) })
+}
+
+// The 2PC fan-out (prepares, then commits/aborts) and the home
+// resolution that precedes it must iterate fragments in ID order:
+// ranging over the parts/homes maps let the wire order — and with it
+// the whole downstream delivery schedule — vary between identical
+// seeded runs. Found by halint's mapdeterminism analyzer; the loop is
+// repeated because the map-order bug this guards against only
+// manifests probabilistically per run.
+func TestMultiFragment2PCMessagesLeaveInFragmentOrder(t *testing.T) {
+	for round := 0; round < 4; round++ {
+		tr := &orderNet{n: 4, handlers: make([]netsim.Handler, 4)}
+		cl := NewCluster(Config{N: 4, Option: UnrestrictedReads, Seed: 23, Transport: tr})
+		tr.sched = cl.Sched()
+		cl.Catalog().AddFragment("FA", "a")
+		cl.Catalog().AddFragment("FB", "b")
+		cl.Catalog().AddFragment("FC", "c")
+		cl.Tokens().Assign("FA", "node:0", 0)
+		cl.Tokens().Assign("FB", "node:1", 1)
+		cl.Tokens().Assign("FC", "node:2", 2)
+		if err := cl.Start(); err != nil {
+			t.Fatal(err)
+		}
+		cl.Load("a", int64(0))
+		cl.Load("b", int64(0))
+		cl.Load("c", int64(0))
+
+		// Coordinate at node 3, which homes none of the written
+		// fragments — a written fragment homed at the coordinator would
+		// contend with the coordinator's own workspace locks.
+		var res TxnResult
+		cl.Node(3).SubmitMulti(TxnSpec{
+			Label: "threeway",
+			Program: func(tx *Tx) error {
+				for _, o := range []fragments.ObjectID{"a", "b", "c"} {
+					if err := tx.Write(o, int64(1)); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		}, func(r TxnResult) { res = r })
+		if !cl.Settle(30 * time.Second) {
+			t.Fatal("did not settle")
+		}
+		cl.Shutdown()
+		if res.Err != nil {
+			t.Fatalf("multi txn failed: %v", res.Err)
+		}
+
+		var prepares, commits []string
+		for _, m := range tr.sent {
+			switch msg := m.(type) {
+			case multiPrepareMsg:
+				prepares = append(prepares, string(msg.Fragment))
+			case multiCommitMsg:
+				commits = append(commits, string(msg.Fragment))
+			}
+		}
+		if len(prepares) != 3 || len(commits) < 2 {
+			t.Fatalf("round %d: unexpected 2PC traffic: prepares=%v commits=%v", round, prepares, commits)
+		}
+		if !sort.StringsAreSorted(prepares) {
+			t.Errorf("round %d: prepares left out of fragment order: %v", round, prepares)
+		}
+		if !sort.StringsAreSorted(commits) {
+			t.Errorf("round %d: commits left out of fragment order: %v", round, commits)
+		}
+	}
+}
